@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper at a reduced
+problem scale (BENCH_SCALE), times the full experiment once, prints the
+paper-shaped table, and archives it under ``benchmarks/output/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.sweeps import clear_caches
+
+#: problem-size multiplier for benchmark runs (1.0 = paper scale).
+#: 0.5 keeps the paper's qualitative orderings intact while halving cost;
+#: much smaller scales distort communication-to-computation ratios.
+BENCH_SCALE = 0.5
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Benchmarks time cold runs: clear the run cache around each."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def record(output) -> None:
+    """Print and archive an ExperimentOutput."""
+    text = output.table_str()
+    print("\n" + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{output.experiment_id}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Time one cold execution of an experiment driver."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,17 @@
+"""Benchmark: the multi-NI extension study."""
+
+from conftest import BENCH_SCALE, record, run_once
+
+from repro.experiments import multi_ni
+
+
+def test_bench_multi_ni(benchmark):
+    out = run_once(benchmark, lambda: multi_ni.run(scale=BENCH_SCALE))
+    record(out)
+    # bandwidth-bound apps gain from a second NI at low bandwidth...
+    for name in ("fft", "radix"):
+        series = out.data[name]["low bw"]
+        assert series[1] > 1.1 * series[0], name
+    # ...latency-bound apps gain much less
+    ws = out.data["water-sp"]["achievable bw"]
+    assert ws[2] < 1.15 * ws[0]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (protocol event rates by clustering)."""
+
+from conftest import BENCH_SCALE, record, run_once
+
+from repro.experiments import table02_events
+
+
+def test_bench_table02(benchmark):
+    out = run_once(benchmark, lambda: table02_events.run(scale=BENCH_SCALE))
+    record(out)
+    for name, per_ppn in out.data.items():
+        # fetch coalescing on SMP nodes
+        assert per_ppn[4]["page_fetches"] <= per_ppn[4]["page_faults"] + 1e-9, name

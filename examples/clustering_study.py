@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Degree-of-clustering study (paper Section 8, Figure 13).
+
+Keeps the total processor count at 16 and varies the SMP node size from
+uniprocessor nodes to 8-way nodes, showing how hardware sharing within a
+node converts remote protocol events into local ones — and how Ocean's
+bus-hungry sweeps stop scaling once the node's memory bus saturates.
+
+Usage::
+
+    python examples/clustering_study.py [scale]
+"""
+
+import sys
+
+from repro.arch import PROCS_PER_NODE_SWEEP
+from repro.core import ClusterConfig
+from repro.core.reporting import format_table
+from repro.core.sweeps import cached_run
+
+APPS = ("ocean", "water-nsq", "raytrace", "volrend", "barnes-rebuild")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    rows = []
+    lock_rows = []
+    for name in APPS:
+        speedups = []
+        for ppn in PROCS_PER_NODE_SWEEP:
+            cfg = ClusterConfig().with_comm(procs_per_node=ppn)
+            r = cached_run(name, scale, cfg)
+            speedups.append(r.speedup)
+            if ppn in (1, 8):
+                lock_rows.append(
+                    [
+                        name,
+                        ppn,
+                        round(r.per_proc_per_mcycle("remote_lock_acquires"), 2),
+                        round(r.per_proc_per_mcycle("page_fetches"), 2),
+                    ]
+                )
+        rows.append([name] + [round(s, 2) for s in speedups])
+
+    headers = ["application"] + [f"{p}/node" for p in PROCS_PER_NODE_SWEEP]
+    print(format_table(headers, rows, title="Speedup vs processors per node"))
+    print()
+    print(
+        format_table(
+            ["application", "procs/node", "remote locks /Mcyc", "fetches /Mcyc"],
+            lock_rows,
+            title="Clustering converts remote protocol events into local ones",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one SPLASH-2-like application on an SVM cluster.
+
+Builds the default machine (16 processors, 4-way SMP nodes, Myrinet-like
+interconnect, HLRC protocol, achievable communication parameters) and
+runs the FFT kernel, printing the speedup and where the time went.
+
+Usage::
+
+    python examples/quickstart.py [app-name] [scale]
+"""
+
+import sys
+
+from repro.apps import app_names, get_app
+from repro.core import ClusterConfig, run_simulation
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if app_name not in app_names():
+        raise SystemExit(f"unknown app {app_name!r}; pick one of {app_names()}")
+
+    print(f"Generating {app_name} (scale={scale}) ...")
+    app = get_app(app_name, scale=scale)
+    print(f"  problem: {app.problem}")
+    print(f"  trace events: {app.event_count():,}")
+
+    config = ClusterConfig()
+    print(f"Simulating on: {config.label()}")
+    result = run_simulation(app, config)
+
+    print()
+    print(result.summary())
+    print()
+    print("Time breakdown (aggregate across processors):")
+    for category, fraction in sorted(
+        result.breakdown_fractions().items(), key=lambda kv: -kv[1]
+    ):
+        if fraction >= 0.005:
+            print(f"  {category:<12} {fraction:6.1%}")
+    print()
+    print("Protocol events per processor per 1M compute cycles:")
+    for counter in ("page_faults", "page_fetches", "remote_lock_acquires", "barriers"):
+        print(f"  {counter:<22} {result.per_proc_per_mcycle(counter):8.1f}")
+    print()
+    print(
+        f"Traffic: {result.messages_per_proc_per_mcycle:.1f} messages and "
+        f"{result.mbytes_per_proc_per_mcycle:.3f} MB per processor per Mcycle"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Regenerate every table/figure at a chosen scale and archive the output.
+
+Used to produce the numbers recorded in EXPERIMENTS.md::
+
+    python scripts/run_all_experiments.py 1.0 results/
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    breakdowns,
+    correlations,
+    figure01_speedups,
+    figure03_messages,
+    figure04_bytes,
+    figure05_host_overhead,
+    figure06_ni_occupancy,
+    figure07_io_bandwidth,
+    figure09_interrupt,
+    figure11_aurc_occupancy,
+    figure12_page_size,
+    figure13_clustering,
+    interrupt_variants,
+    microbench,
+    multi_ni,
+    problem_size,
+    protocol_processing,
+    table02_events,
+    table03_slowdowns,
+    table04_attribution,
+    table04_speedups,
+)
+
+DRIVERS = [
+    ("figure01", lambda s: figure01_speedups.run(scale=s)),
+    ("table02", lambda s: table02_events.run(scale=s)),
+    ("figure03", lambda s: figure03_messages.run(scale=s)),
+    ("figure04", lambda s: figure04_bytes.run(scale=s)),
+    ("figure05", lambda s: figure05_host_overhead.run(scale=s)),
+    ("figure05b", lambda s: correlations.run_host_vs_messages(scale=s)),
+    ("figure06", lambda s: figure06_ni_occupancy.run(scale=s)),
+    ("figure07", lambda s: figure07_io_bandwidth.run(scale=s)),
+    ("figure08", lambda s: correlations.run_bandwidth_vs_bytes(scale=s)),
+    ("figure09", lambda s: figure09_interrupt.run(scale=s)),
+    ("figure10", lambda s: correlations.run_interrupt_vs_fetches(scale=s)),
+    ("figure11", lambda s: figure11_aurc_occupancy.run(scale=s)),
+    ("table03", lambda s: table03_slowdowns.run(scale=s)),
+    ("table04", lambda s: table04_speedups.run(scale=s)),
+    ("figure12", lambda s: figure12_page_size.run(scale=s)),
+    ("figure13", lambda s: figure13_clustering.run(scale=s)),
+    ("section5-uninode", lambda s: interrupt_variants.run_uniprocessor_nodes(scale=s)),
+    ("section5-roundrobin", lambda s: interrupt_variants.run_round_robin(scale=s)),
+    ("section7-attribution", lambda s: table04_attribution.run(scale=s)),
+    ("section10-processing", lambda s: protocol_processing.run(scale=s)),
+    ("section10-multini", lambda s: multi_ni.run(scale=s)),
+    ("problem-size", lambda s: problem_size.run(scale=s)),
+    ("ablations", lambda s: ablations.run(scale=s)),
+    ("breakdowns", lambda s: breakdowns.run(scale=s)),
+    ("microbench", lambda s: microbench.run()),
+]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    out_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    combined = []
+    t_start = time.time()
+    for name, driver in DRIVERS:
+        t0 = time.time()
+        out = driver(scale)
+        dt = time.time() - t0
+        text = out.table_str()
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        (out_dir / f"{name}.json").write_text(
+            json.dumps(out.data, indent=2, default=str) + "\n"
+        )
+        combined.append(text)
+        print(f"[{time.time() - t_start:7.1f}s] {name:<22} done in {dt:6.1f}s", flush=True)
+    (out_dir / "ALL.txt").write_text("\n\n\n".join(combined) + "\n")
+    print(f"all experiments written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""svm-cluster-sim — reproduction of Bilas & Singh, SC'97.
+
+A page-grain shared-virtual-memory cluster simulator: home-based lazy
+release consistency protocols (HLRC/AURC) over a Myrinet-like
+communication substrate, driven by SPLASH-2-like workload traces, built
+to study how communication-architecture parameters (host overhead, I/O
+bandwidth, NI occupancy, interrupt cost) shape end performance.
+
+Top-level convenience imports::
+
+    from repro import ClusterConfig, get_app, run_simulation
+
+    result = run_simulation(get_app("fft", scale=0.5), ClusterConfig())
+    print(result.summary())
+"""
+
+from repro.apps import APP_ORDER, AppTrace, GenParams, app_names, get_app
+from repro.arch import ACHIEVABLE, BEST, ArchParams, CommParams
+from repro.core import Cluster, ClusterConfig, RunResult, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACHIEVABLE",
+    "APP_ORDER",
+    "AppTrace",
+    "ArchParams",
+    "BEST",
+    "Cluster",
+    "ClusterConfig",
+    "CommParams",
+    "GenParams",
+    "RunResult",
+    "__version__",
+    "app_names",
+    "get_app",
+    "run_simulation",
+]

@@ -1,0 +1,12 @@
+"""Entry point for ``python -m repro``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early — not an error
+        sys.exit(0)

@@ -1,0 +1,66 @@
+"""SPLASH-2-like workload generators (the paper's application suite).
+
+Ten applications, trace-generated from their real data layouts and
+sharing patterns — see :mod:`repro.apps.base` for the substitution
+rationale and the event model.
+"""
+
+from repro.apps.barnes import BarnesRebuildGenerator, BarnesSpaceGenerator
+from repro.apps.base import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ,
+    RELEASE,
+    TOUCH,
+    WRITE,
+    AddressSpace,
+    AppGenerator,
+    AppTrace,
+    GenParams,
+)
+from repro.apps.fft import FFTGenerator
+from repro.apps.lu import LUGenerator
+from repro.apps.ocean import OceanGenerator
+from repro.apps.radix import RadixGenerator
+from repro.apps.raytrace import RaytraceGenerator
+from repro.apps.registry import (
+    APP_ORDER,
+    IRREGULAR_APPS,
+    REGULAR_APPS,
+    app_names,
+    get_app,
+    make_generator,
+)
+from repro.apps.volrend import VolrendGenerator
+from repro.apps.water import WaterNsquaredGenerator, WaterSpatialGenerator
+
+__all__ = [
+    "ACQUIRE",
+    "APP_ORDER",
+    "AddressSpace",
+    "AppGenerator",
+    "AppTrace",
+    "BARRIER",
+    "BarnesRebuildGenerator",
+    "BarnesSpaceGenerator",
+    "COMPUTE",
+    "FFTGenerator",
+    "GenParams",
+    "IRREGULAR_APPS",
+    "LUGenerator",
+    "OceanGenerator",
+    "READ",
+    "REGULAR_APPS",
+    "RELEASE",
+    "RadixGenerator",
+    "RaytraceGenerator",
+    "TOUCH",
+    "VolrendGenerator",
+    "WRITE",
+    "WaterNsquaredGenerator",
+    "WaterSpatialGenerator",
+    "app_names",
+    "get_app",
+    "make_generator",
+]

@@ -1,0 +1,213 @@
+"""Barnes-Hut N-body simulation, both tree-building variants.
+
+Shared data: a body array (block-partitioned) and the shared octree
+(cells).  Per timestep: build the tree, compute forces (each processor
+traverses most of the tree, which was rewritten during the build, so its
+cached tree pages are invalid and re-fetch), and update own bodies.
+
+**Barnes-rebuild** (the SPLASH-2 original): processors load their bodies
+directly into the *shared* tree, locking cells as they descend —
+fine-grained, irregular, and lock-heavy.  Every insertion takes a cell
+lock and reads/writes a tree page *inside the critical section*; cells
+contend across nodes.  This makes Barnes-rebuild the paper's most
+communication-intensive application (highest message count, most remote
+lock acquires, worst achievable speedup).
+
+**Barnes-space** (the SVM-optimized variant): disjoint *subspaces* that
+match tree cells are assigned to processors; each builds a private
+partial tree (pure local computation) and the partial trees are merged
+into the global tree *without locking* — only the merge writes touch
+shared pages.  Same force phase, a tiny fraction of the synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.base import (
+    ACQUIRE,
+    BARRIER,
+    READ,
+    RELEASE,
+    WRITE,
+    AddressSpace,
+    AppGenerator,
+    AppTrace,
+    GenParams,
+)
+from repro.arch.cache import CacheModel
+
+BODY_BYTES = 120
+CELL_BYTES = 96
+#: cycles to insert one body into the tree
+INSERT_CYCLES = 250
+#: cycles of force computation per body
+FORCE_CYCLES = 6_000
+TIMESTEPS = 2
+CELL_LOCKS = 256
+CELL_LOCK_BASE = 1000
+
+
+class _BarnesBase(AppGenerator):
+    def __init__(self, n_bodies: int = 4096):
+        self.n_bodies = n_bodies
+
+    # subclasses fill in the build phase
+    def _build_phase(self, evs: List, p: int, params, ctxt) -> None:
+        raise NotImplementedError
+
+    def generate(self, params: GenParams) -> AppTrace:
+        P = params.n_procs
+        n = max(8 * P, int(self.n_bodies * params.scale))
+        n -= n % P
+        per_proc = n // P
+        cache = CacheModel(params.arch)
+        space = AddressSpace(params.page_size)
+        rng = params.rng(salt=4)
+
+        bodies = space.alloc(n * BODY_BYTES, "bodies")
+        n_cells = max(P, n // 4)
+        tree = space.alloc(n_cells * CELL_BYTES, "tree")
+        tree_pages = list(space.pages_of(tree, n_cells * CELL_BYTES))
+        part_bytes = per_proc * BODY_BYTES
+        l1_mr, l2_mr = cache.miss_rates_for_working_set(
+            part_bytes + len(tree_pages) * params.page_size // 2
+        )
+        ctxt = dict(
+            rng=rng,
+            space=space,
+            tree=tree,
+            tree_pages=tree_pages,
+            per_proc=per_proc,
+            cache=cache,
+            l1_mr=l1_mr,
+            l2_mr=l2_mr,
+        )
+
+        events = [[] for _ in range(P)]
+        for p in range(P):
+            evs = events[p]
+            evs.extend(self.touch_events(space, bodies + p * part_bytes, part_bytes))
+            # tree cells are spread over processors (subspace ownership)
+            share = len(tree_pages) // P
+            for page in tree_pages[p * share : (p + 1) * share]:
+                evs.append(("t", int(page)))
+            evs.append((BARRIER, 0))
+
+        bar = 1
+        for _step in range(TIMESTEPS):
+            # 1) tree build (variant-specific)
+            for p in range(P):
+                self._build_phase(events[p], p, params, ctxt)
+                events[p].append((BARRIER, bar))
+            bar += 1
+            # 2) force computation: a traversal touches its own subspace's
+            # cells plus the upper tree levels — about a third of the tree
+            # (rebuilt this step, so these pages re-fetch)
+            for p in range(P):
+                evs = events[p]
+                touched = rng.choice(
+                    tree_pages, size=max(1, int(len(tree_pages) * 0.35)), replace=False
+                )
+                for page in sorted(int(x) for x in touched):
+                    evs.append((READ, page))
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        int(per_proc * FORCE_CYCLES),
+                        reads=per_proc * 600,
+                        writes=per_proc * 30,
+                        l1_mr=l1_mr,
+                        l2_mr=l2_mr,
+                    )
+                )
+                evs.append((BARRIER, bar))
+            bar += 1
+            # 3) update own bodies (local pages)
+            words_per_page = params.page_size // params.arch.word_bytes
+            for p in range(P):
+                evs = events[p]
+                for page in space.pages_of(bodies + p * part_bytes, part_bytes):
+                    evs.append((WRITE, int(page), words_per_page // 2, 4))
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        per_proc * 60,
+                        reads=per_proc * 10,
+                        writes=per_proc * 10,
+                        l1_mr=l1_mr,
+                        l2_mr=l2_mr,
+                    )
+                )
+                evs.append((BARRIER, bar))
+            bar += 1
+
+        serial = AppGenerator.serial_from_blocks(events, serial_stall_factor=1.25)
+        return AppTrace(
+            name=self.name,
+            n_procs=P,
+            events=events,
+            serial_cycles=serial,
+            shared_bytes=space.used_bytes,
+            problem=f"{n} bodies",
+        )
+
+
+class BarnesRebuildGenerator(_BarnesBase):
+    name = "barnes-rebuild"
+    description = "shared-tree build with cell locking (SPLASH-2 original)"
+
+    def _build_phase(self, evs: List, p: int, params: GenParams, ctxt) -> None:
+        rng = ctxt["rng"]
+        tree_pages = ctxt["tree_pages"]
+        per_proc = ctxt["per_proc"]
+        # every ~4th body insertion descends into a contended region:
+        # lock the cell, read+write its page inside the critical section
+        insertions = max(1, per_proc // 4)
+        pages = rng.choice(tree_pages, size=insertions, replace=True)
+        locks = rng.integers(0, CELL_LOCKS, size=insertions)
+        for i in range(insertions):
+            page = int(pages[i])
+            lock_id = CELL_LOCK_BASE + int(locks[i])
+            evs.append((ACQUIRE, lock_id))
+            evs.append((READ, page))
+            evs.append((WRITE, page, 8, 2))
+            evs.append((RELEASE, lock_id))
+        evs.append(
+            self.compute_block(
+                ctxt["cache"],
+                per_proc * INSERT_CYCLES,
+                reads=per_proc * 30,
+                writes=per_proc * 10,
+                l1_mr=ctxt["l1_mr"],
+                l2_mr=ctxt["l2_mr"],
+            )
+        )
+
+
+class BarnesSpaceGenerator(_BarnesBase):
+    name = "barnes-space"
+    description = "private partial trees merged without locking (SVM-tuned)"
+
+    def _build_phase(self, evs: List, p: int, params: GenParams, ctxt) -> None:
+        space = ctxt["space"]
+        tree_pages = ctxt["tree_pages"]
+        per_proc = ctxt["per_proc"]
+        # build a private partial tree: pure local computation
+        evs.append(
+            self.compute_block(
+                ctxt["cache"],
+                per_proc * INSERT_CYCLES,
+                reads=per_proc * 30,
+                writes=per_proc * 10,
+                l1_mr=ctxt["l1_mr"],
+                l2_mr=ctxt["l2_mr"],
+            )
+        )
+        # merge: write only this processor's subspace cells (its own pages
+        # by first touch), lock-free
+        P = params.n_procs
+        share = len(tree_pages) // P
+        words_per_page = params.page_size // params.arch.word_bytes
+        for page in tree_pages[p * share : (p + 1) * share]:
+            evs.append((WRITE, int(page), words_per_page // 2, 2))

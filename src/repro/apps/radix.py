@@ -1,0 +1,142 @@
+"""Radix — parallel radix sort (SPLASH-2 kernel, unmodified semantics).
+
+Per digit pass: a local histogram over the processor's own keys, a small
+tree-structured prefix computation (locks + barrier), then the
+*permutation*: every key is written to its rank position in the
+destination array — positions that are scattered across all processors'
+partitions.
+
+This makes Radix the paper's stress case: highly scattered **writes to
+remotely allocated data** (write faults fetch the page, twins, diffs),
+a high inherent communication-to-computation ratio, and heavy contention
+at the NI and I/O bus (data-wait imbalance).  It is also the one
+application that *prefers large pages* (Figure 12): the permutation's
+writes are dense over the whole destination array, so larger pages mean
+proportionally fewer faults/fetches for the same number of bytes moved.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    ACQUIRE,
+    BARRIER,
+    RELEASE,
+    WRITE,
+    AddressSpace,
+    AppGenerator,
+    AppTrace,
+    GenParams,
+)
+from repro.arch.cache import CacheModel
+
+KEY_BYTES = 4
+HIST_CYCLES_PER_KEY = 4.0
+PERMUTE_CYCLES_PER_KEY = 6.0
+PASSES = 2
+
+
+class RadixGenerator(AppGenerator):
+    name = "radix"
+    description = "radix sort; scattered remote writes, bandwidth-bound"
+
+    def __init__(self, n_keys: int = 1 << 18):
+        self.n_keys = n_keys
+
+    def generate(self, params: GenParams) -> AppTrace:
+        P = params.n_procs
+        n = max(P * 1024, int(self.n_keys * params.scale))
+        n -= n % P
+        per_proc = n // P
+        cache = CacheModel(params.arch)
+        space = AddressSpace(params.page_size)
+        rng = params.rng(salt=1)
+
+        src = space.alloc(n * KEY_BYTES, "src")
+        dst = space.alloc(n * KEY_BYTES, "dst")
+        part_bytes = per_proc * KEY_BYTES
+        pages_per_part = max(1, part_bytes // params.page_size)
+        l1_mr, l2_mr = cache.miss_rates_for_working_set(2 * part_bytes)
+        words_per_page = params.page_size // params.arch.word_bytes
+
+        events = [[] for _ in range(P)]
+        for p in range(P):
+            for base in (src, dst):
+                events[p].extend(
+                    self.touch_events(space, base + p * part_bytes, part_bytes)
+                )
+            events[p].append((BARRIER, 0))
+
+        bar = 1
+        for pass_idx in range(PASSES):
+            a, b = (src, dst) if pass_idx % 2 == 0 else (dst, src)
+            for p in range(P):
+                evs = events[p]
+                # 1) local histogram over own keys
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        int(per_proc * HIST_CYCLES_PER_KEY),
+                        reads=per_proc,
+                        writes=per_proc // 4,
+                        l1_mr=l1_mr,
+                        l2_mr=l2_mr,
+                    )
+                )
+                evs.append((BARRIER, bar))
+                # 2) global prefix: short tree of lock-protected updates
+                for step in range(3):
+                    lock_id = 512 + (p >> step) % P
+                    evs.append((ACQUIRE, lock_id))
+                    evs.append((RELEASE, lock_id))
+                evs.append((BARRIER, bar + 1))
+                # 3) permutation: keys scatter over every partition of b,
+                # visited in staggered order starting at p+1.  A uniform
+                # scatter of k keys over m pages touches
+                # m * (1 - (1 - 1/m)^k) pages in expectation — for dense
+                # radix traffic that is essentially *all* pages at any page
+                # size, which is why larger pages amortize the per-fault
+                # fixed costs over the same byte volume (Figure 12).
+                keys_per_dst = per_proc // P
+                for step in range(P):
+                    q = (p + 1 + step) % P
+                    dst_base = b + q * part_bytes
+                    m = pages_per_part
+                    expected = m * (1.0 - (1.0 - 1.0 / m) ** keys_per_dst)
+                    touched = max(1, min(m, round(expected)))
+                    pages = rng.choice(
+                        list(space.pages_of(dst_base, part_bytes)),
+                        size=touched,
+                        replace=False,
+                    )
+                    words_each = max(1, keys_per_dst // touched)
+                    for page in sorted(int(x) for x in pages):
+                        evs.append(
+                            (
+                                WRITE,
+                                page,
+                                min(words_per_page, words_each),
+                                max(1, min(32, words_each // 2)),
+                            )
+                        )
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        int(per_proc * PERMUTE_CYCLES_PER_KEY),
+                        reads=per_proc * 2,
+                        writes=per_proc,
+                        l1_mr=l1_mr,
+                        l2_mr=max(l2_mr, 0.4),  # scattered stores miss hard
+                    )
+                )
+                evs.append((BARRIER, bar + 2))
+            bar += 3
+
+        serial = AppGenerator.serial_from_blocks(events, serial_stall_factor=1.4)
+        return AppTrace(
+            name=self.name,
+            n_procs=P,
+            events=events,
+            serial_cycles=serial,
+            shared_bytes=space.used_bytes,
+            problem=f"{n} keys, {PASSES} passes",
+        )

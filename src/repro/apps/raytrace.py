@@ -1,0 +1,154 @@
+"""Raytrace — ray tracing with distributed task queues (SVM-tuned variant).
+
+The version the paper uses removes an unnecessary global lock and
+restructures the task queues for SVM/SMP.  What remains protocol-wise:
+
+* a large **read-only scene** (BSP tree + primitives): pages fault once
+  per node on first use and stay valid — cheap steady-state;
+* a **task queue per processor**, each living on its own page, protected
+  by a lock: dequeuing your own tasks is a mostly-local lock; *stealing*
+  from a loaded victim takes a remote lock **and reads/writes the
+  victim's queue page inside the critical section** — the
+  page-fault-in-critical-section serialization the paper identifies as
+  Raytrace's limiter;
+* per-task compute with high variance (rays differ wildly in cost),
+  which is what makes stealing necessary at all.
+
+Message count is high (many small lock transfers); byte volume is
+moderate — Raytrace sits in the host-overhead- and interrupt-sensitive
+group, not the bandwidth-bound one.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    ACQUIRE,
+    BARRIER,
+    READ,
+    RELEASE,
+    WRITE,
+    AddressSpace,
+    AppGenerator,
+    AppTrace,
+    GenParams,
+)
+from repro.arch.cache import CacheModel
+
+#: base cycles per ray-bundle task
+TASK_CYCLES = 22_000
+#: scene footprint in bytes
+SCENE_BYTES = 1 << 21
+#: tasks initially assigned per processor
+TASKS_PER_PROC = 160
+#: fraction of tasks that end up stolen (after the improved assignment)
+STEAL_FRACTION = 0.18
+QUEUE_LOCK_BASE = 100
+
+
+class RaytraceGenerator(AppGenerator):
+    name = "raytrace"
+    description = "task queues + stealing; faults inside critical sections"
+
+    def __init__(self, tasks_per_proc: int = TASKS_PER_PROC):
+        self.tasks_per_proc = tasks_per_proc
+
+    def generate(self, params: GenParams) -> AppTrace:
+        P = params.n_procs
+        tasks = max(8, int(self.tasks_per_proc * params.scale))
+        cache = CacheModel(params.arch)
+        space = AddressSpace(params.page_size)
+        rng = params.rng(salt=2)
+
+        scene = space.alloc(SCENE_BYTES, "scene")
+        scene_pages = list(space.pages_of(scene, SCENE_BYTES))
+
+        def region_pages(p: int):
+            """Scene pages processor ``p``'s rays actually traverse: its
+            image tile maps to a slab of the scene plus the globally
+            shared top of the BSP tree (rays have spatial locality — a
+            processor does not touch the whole scene)."""
+            n_pages = len(scene_pages)
+            slab = max(1, n_pages // P)
+            lo = p * slab
+            local = scene_pages[lo : lo + 2 * slab]
+            shared_top = scene_pages[: max(1, n_pages // 10)]
+            return local + shared_top
+        queues = space.alloc(P * params.page_size, "queues")
+        frame = space.alloc(P * params.page_size * 4, "framebuffer")
+        l1_mr, l2_mr = cache.miss_rates_for_working_set(SCENE_BYTES // 4)
+
+        events = [[] for _ in range(P)]
+        for p in range(P):
+            evs = events[p]
+            # scene is initialized by processor 0 (it homes everywhere it
+            # first touches; a realistic master-initialized scene)
+            if p == 0:
+                evs.extend(self.touch_events(space, scene, SCENE_BYTES))
+            evs.extend(
+                self.touch_events(
+                    space, queues + p * params.page_size, params.page_size
+                )
+            )
+            evs.extend(
+                self.touch_events(
+                    space, frame + p * params.page_size * 4, params.page_size * 4
+                )
+            )
+            evs.append((BARRIER, 0))
+
+        for p in range(P):
+            evs = events[p]
+            own_queue_page = space.page_of(queues + p * params.page_size)
+            own_lock = QUEUE_LOCK_BASE + p
+            # touch a small initial slice of this processor's scene region;
+            # the rest faults in on demand during tracing
+            my_region = region_pages(p)
+            warm = rng.choice(my_region, size=max(1, len(my_region) // 16), replace=False)
+            for page in sorted(int(x) for x in warm):
+                evs.append((READ, page))
+
+            n_steals = int(tasks * STEAL_FRACTION)
+            n_own = tasks - n_steals
+            # high-variance task costs (rays through complex geometry)
+            costs = rng.lognormal(mean=0.0, sigma=0.9, size=tasks) * TASK_CYCLES
+
+            for t in range(tasks):
+                stealing = t >= n_own
+                if stealing:
+                    victim = int(rng.integers(0, P - 1))
+                    victim = victim if victim < p else victim + 1
+                    v_lock = QUEUE_LOCK_BASE + victim
+                    v_page = space.page_of(queues + victim * params.page_size)
+                    evs.append((ACQUIRE, v_lock))
+                    evs.append((READ, v_page))  # fault inside the CS
+                    evs.append((WRITE, v_page, 4, 1))
+                    evs.append((RELEASE, v_lock))
+                else:
+                    evs.append((ACQUIRE, own_lock))
+                    evs.append((WRITE, own_queue_page, 4, 1))
+                    evs.append((RELEASE, own_lock))
+                # trace the rays: reads a couple of pages of this
+                # processor's scene region (cached after first fault)
+                for page in rng.choice(my_region, size=2, replace=False):
+                    evs.append((READ, int(page)))
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        int(costs[t]),
+                        reads=int(costs[t]) // 8,
+                        writes=int(costs[t]) // 40,
+                        l1_mr=l1_mr,
+                        l2_mr=l2_mr,
+                    )
+                )
+            evs.append((BARRIER, 1))
+
+        serial = AppGenerator.serial_from_blocks(events, serial_stall_factor=1.15)
+        return AppTrace(
+            name=self.name,
+            n_procs=P,
+            events=events,
+            serial_cycles=serial,
+            shared_bytes=space.used_bytes,
+            problem=f"{tasks} tasks/proc, {SCENE_BYTES >> 20} MB scene",
+        )

@@ -1,0 +1,83 @@
+"""Application registry: name -> generator, plus the paper's canonical
+display order and grouping."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.barnes import BarnesRebuildGenerator, BarnesSpaceGenerator
+from repro.apps.base import AppGenerator, AppTrace, GenParams
+from repro.apps.fft import FFTGenerator
+from repro.apps.lu import LUGenerator
+from repro.apps.ocean import OceanGenerator
+from repro.apps.radix import RadixGenerator
+from repro.apps.raytrace import RaytraceGenerator
+from repro.apps.volrend import VolrendGenerator
+from repro.apps.water import WaterNsquaredGenerator, WaterSpatialGenerator
+
+#: the paper's ten applications, in Figure 1 display order
+APP_ORDER = (
+    "fft",
+    "lu",
+    "ocean",
+    "water-nsq",
+    "water-sp",
+    "radix",
+    "raytrace",
+    "volrend",
+    "barnes-rebuild",
+    "barnes-space",
+)
+
+#: regular vs irregular, per the paper's Section 4 classification
+REGULAR_APPS = ("fft", "lu", "ocean")
+IRREGULAR_APPS = tuple(a for a in APP_ORDER if a not in REGULAR_APPS)
+
+_GENERATORS: Dict[str, type] = {
+    g.name: g
+    for g in (
+        FFTGenerator,
+        LUGenerator,
+        OceanGenerator,
+        WaterNsquaredGenerator,
+        WaterSpatialGenerator,
+        RadixGenerator,
+        RaytraceGenerator,
+        VolrendGenerator,
+        BarnesRebuildGenerator,
+        BarnesSpaceGenerator,
+    )
+}
+
+
+def app_names() -> List[str]:
+    return list(APP_ORDER)
+
+
+def make_generator(name: str, **kwargs) -> AppGenerator:
+    """Instantiate a generator by registry name."""
+    try:
+        cls = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; available: {sorted(_GENERATORS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def get_app(
+    name: str,
+    n_procs: int = 16,
+    page_size: int = 4096,
+    scale: float = 1.0,
+    seed: int = 42,
+    params: Optional[GenParams] = None,
+    **generator_kwargs,
+) -> AppTrace:
+    """One-call workload construction (the main user entry point)."""
+    gen = make_generator(name, **generator_kwargs)
+    if params is None:
+        params = GenParams(
+            n_procs=n_procs, page_size=page_size, scale=scale, seed=seed
+        )
+    return gen.generate(params)

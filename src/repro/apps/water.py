@@ -1,0 +1,210 @@
+"""Water — molecular dynamics, both SPLASH-2 variants.
+
+**Water-nsquared** computes O(n^2/2) molecule pair interactions: each
+processor reads the molecules of the *following* n/2 in the wraparound
+order (touching roughly half the molecule array) and accumulates force
+updates locally, applying them to the shared per-molecule records once
+per iteration under per-molecule locks.  Moderate communication, modest
+lock traffic — the paper classes it as essentially regular.
+
+**Water-spatial** imposes a uniform cell grid: interactions only reach
+neighbouring cells, so each processor reads only the boundary cells of
+its spatial region and takes a handful of boundary-cell locks.  Very low
+communication; its achievable speedup is near its best.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (
+    ACQUIRE,
+    BARRIER,
+    RELEASE,
+    WRITE,
+    AddressSpace,
+    AppGenerator,
+    AppTrace,
+    GenParams,
+)
+from repro.arch.cache import CacheModel
+
+#: bytes of one molecule record (positions, velocities, forces, ...)
+MOL_BYTES = 680
+#: cycles per pair interaction (inter-molecular potentials are expensive)
+PAIR_CYCLES = 800.0
+#: cycles of intra-molecule work per molecule per iteration
+INTRA_CYCLES = 600.0
+ITERATIONS = 3
+#: force-field words updated per molecule
+FORCE_WORDS = 6
+
+
+class WaterNsquaredGenerator(AppGenerator):
+    name = "water-nsq"
+    description = "O(n^2) pairwise molecular dynamics with per-molecule locks"
+
+    def __init__(self, n_mols: int = 512):
+        self.n_mols = n_mols
+
+    def generate(self, params: GenParams) -> AppTrace:
+        P = params.n_procs
+        n = max(2 * P, int(self.n_mols * params.scale))
+        n -= n % P
+        per_proc = n // P
+        cache = CacheModel(params.arch)
+        space = AddressSpace(params.page_size)
+        mols = space.alloc(n * MOL_BYTES, "molecules")
+        part_bytes = per_proc * MOL_BYTES
+        l1_mr, l2_mr = cache.miss_rates_for_working_set(n * MOL_BYTES // 2)
+        mols_per_page = max(1, params.page_size // MOL_BYTES)
+
+        events = [[] for _ in range(P)]
+        for p in range(P):
+            events[p].extend(
+                self.touch_events(space, mols + p * part_bytes, part_bytes)
+            )
+            events[p].append((BARRIER, 0))
+
+        bar = 1
+        for _it in range(ITERATIONS):
+            for p in range(P):
+                evs = events[p]
+                # intra-molecule computation (local)
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        int(per_proc * INTRA_CYCLES),
+                        reads=per_proc * 40,
+                        writes=per_proc * 20,
+                        l1_mr=l1_mr,
+                        l2_mr=l2_mr,
+                    )
+                )
+                evs.append((BARRIER, bar))
+
+            for p in range(P):
+                evs = events[p]
+                # pair phase: read the following n/2 molecules (wraparound)
+                start = p * per_proc
+                span_bytes = (n // 2) * MOL_BYTES
+                addr = mols + start * MOL_BYTES
+                wrap = max(0, (addr - mols) + span_bytes - n * MOL_BYTES)
+                for page in space.pages_of(addr, span_bytes - wrap):
+                    evs.append(("r", int(page)))
+                if wrap:
+                    for page in space.pages_of(mols, wrap):
+                        evs.append(("r", int(page)))
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        int(per_proc * (n // 2) * PAIR_CYCLES / 2),
+                        reads=per_proc * (n // 2) * 3,
+                        writes=per_proc * 8,
+                        l1_mr=l1_mr,
+                        l2_mr=l2_mr,
+                    )
+                )
+                # apply the locally accumulated force updates once per
+                # iteration, batched per victim partition under its lock
+                # (the updates-accumulated-locally structure the paper
+                # describes)
+                victims = [(p + 1 + k) % P for k in range(P // 2)]
+                for q in victims:
+                    if q == p:
+                        continue
+                    evs.append((ACQUIRE, q))
+                    v_addr = mols + q * part_bytes
+                    for page in space.pages_of(v_addr, part_bytes):
+                        evs.append(
+                            (
+                                WRITE,
+                                int(page),
+                                mols_per_page * FORCE_WORDS,
+                                mols_per_page,
+                            )
+                        )
+                    evs.append((RELEASE, q))
+                evs.append((BARRIER, bar + 1))
+            bar += 2
+
+        serial = AppGenerator.serial_from_blocks(events, serial_stall_factor=1.2)
+        return AppTrace(
+            name=self.name,
+            n_procs=P,
+            events=events,
+            serial_cycles=serial,
+            shared_bytes=space.used_bytes,
+            problem=f"{n} molecules",
+        )
+
+
+class WaterSpatialGenerator(AppGenerator):
+    name = "water-sp"
+    description = "cell-list molecular dynamics; boundary-only sharing"
+
+    def __init__(self, n_mols: int = 512):
+        self.n_mols = n_mols
+
+    def generate(self, params: GenParams) -> AppTrace:
+        P = params.n_procs
+        n = max(2 * P, int(self.n_mols * params.scale))
+        n -= n % P
+        per_proc = n // P
+        cache = CacheModel(params.arch)
+        space = AddressSpace(params.page_size)
+        mols = space.alloc(n * MOL_BYTES, "molecules")
+        part_bytes = per_proc * MOL_BYTES
+        l1_mr, l2_mr = cache.miss_rates_for_working_set(2 * part_bytes)
+        mols_per_page = max(1, params.page_size // MOL_BYTES)
+        #: boundary molecules shared with each spatial neighbour
+        boundary_bytes = min(part_bytes, 2 * params.page_size)
+
+        events = [[] for _ in range(P)]
+        for p in range(P):
+            events[p].extend(
+                self.touch_events(space, mols + p * part_bytes, part_bytes)
+            )
+            events[p].append((BARRIER, 0))
+
+        bar = 1
+        for _it in range(ITERATIONS):
+            for p in range(P):
+                evs = events[p]
+                # read boundary cells of the two spatial neighbours
+                for q in ((p - 1) % P, (p + 1) % P):
+                    addr = mols + q * part_bytes
+                    if q == (p - 1) % P:
+                        addr += part_bytes - boundary_bytes
+                    for page in space.pages_of(addr, boundary_bytes):
+                        evs.append(("r", int(page)))
+                # same physics per molecule, but only neighbour-cell pairs
+                evs.append(
+                    self.compute_block(
+                        cache,
+                        int(per_proc * (INTRA_CYCLES + 40 * PAIR_CYCLES)),
+                        reads=per_proc * 120,
+                        writes=per_proc * 30,
+                        l1_mr=l1_mr,
+                        l2_mr=l2_mr,
+                    )
+                )
+                # update own boundary molecules (consumed by neighbours)
+                own_boundary = mols + p * part_bytes
+                for page in space.pages_of(own_boundary, boundary_bytes):
+                    lock_id = int(page) % 64
+                    evs.append((ACQUIRE, lock_id))
+                    evs.append(
+                        (WRITE, int(page), mols_per_page * FORCE_WORDS, mols_per_page)
+                    )
+                    evs.append((RELEASE, lock_id))
+                evs.append((BARRIER, bar))
+            bar += 1
+
+        serial = AppGenerator.serial_from_blocks(events, serial_stall_factor=1.2)
+        return AppTrace(
+            name=self.name,
+            n_procs=P,
+            events=events,
+            serial_cycles=serial,
+            shared_bytes=space.used_bytes,
+            problem=f"{n} molecules (spatial)",
+        )

@@ -1,0 +1,57 @@
+"""Node-architecture substrate: parameters, caches, buses, processors.
+
+This package models the paper's simulated node (Figure 2): a bus-based SMP
+with a write-through L1, an L2, a write buffer, a split-transaction memory
+bus, and a network interface hanging off an I/O bus (the NI itself lives in
+:mod:`repro.net`).
+
+The swept communication parameters (Table 1) live in
+:class:`~repro.arch.params.CommParams`; the fixed machine in
+:class:`~repro.arch.params.ArchParams`.
+"""
+
+from repro.arch.cache import BlockAccessProfile, BlockCosts, CacheModel
+from repro.arch.membus import BUS_CLASSES, MemoryBus
+from repro.arch.params import (
+    ACHIEVABLE,
+    BEST,
+    HOST_OVERHEAD_SWEEP,
+    INTERRUPT_COST_SWEEP,
+    IO_BANDWIDTH_SWEEP,
+    NI_OCCUPANCY_SWEEP,
+    PAGE_SIZE_SWEEP,
+    PARAMETER_RANGES,
+    PROCS_PER_NODE_SWEEP,
+    TABLE2_CLUSTERINGS,
+    TOTAL_PROCESSORS,
+    ArchParams,
+    CommParams,
+)
+from repro.arch.processor import TIME_CATEGORIES, Processor, ProcessorStats
+from repro.arch.write_buffer import WriteBufferModel, WriteBurst
+
+__all__ = [
+    "ACHIEVABLE",
+    "BEST",
+    "BUS_CLASSES",
+    "ArchParams",
+    "BlockAccessProfile",
+    "BlockCosts",
+    "CacheModel",
+    "CommParams",
+    "HOST_OVERHEAD_SWEEP",
+    "INTERRUPT_COST_SWEEP",
+    "IO_BANDWIDTH_SWEEP",
+    "MemoryBus",
+    "NI_OCCUPANCY_SWEEP",
+    "PAGE_SIZE_SWEEP",
+    "PARAMETER_RANGES",
+    "PROCS_PER_NODE_SWEEP",
+    "Processor",
+    "ProcessorStats",
+    "TABLE2_CLUSTERINGS",
+    "TIME_CATEGORIES",
+    "TOTAL_PROCESSORS",
+    "WriteBufferModel",
+    "WriteBurst",
+]

@@ -1,0 +1,161 @@
+"""Analytic cache-hierarchy cost model.
+
+The original study simulated every load and store through an L1/L2/write
+buffer hierarchy.  At repro band 2 we replace that with an *analytic* model
+evaluated once per compute block: application generators describe each
+block's memory behaviour (reference counts and miss ratios, derived from
+the real data-structure sizes), and this model converts the description
+into
+
+* **local stall cycles** — time the processor is stalled on its own cache
+  hierarchy, which the paper's *ideal* speedup retains, and
+* **memory-bus bytes** — the block's local traffic on the node's shared
+  bus, which drives the bus-contention model (and hence the Ocean
+  clustering result: beyond four processors per node the shared bus
+  saturates on capacity/conflict misses).
+
+Only aggregates enter the paper's results, so this preserves the reported
+effects at a tiny fraction of the simulation cost (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import ArchParams
+
+
+@dataclass(frozen=True)
+class BlockAccessProfile:
+    """Memory behaviour of one compute block on one processor.
+
+    Attributes
+    ----------
+    reads, writes:
+        Data reference counts issued by the block.
+    l1_miss_rate:
+        Fraction of references missing the first-level cache.
+    l2_miss_rate:
+        Fraction of *L1 misses* that also miss the second-level cache
+        (i.e. go to local memory over the bus).
+    """
+
+    reads: int
+    writes: int
+    l1_miss_rate: float
+    l2_miss_rate: float
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0:
+            raise ValueError("reference counts must be non-negative")
+        for rate in (self.l1_miss_rate, self.l2_miss_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"miss rate {rate!r} outside [0, 1]")
+
+    @property
+    def refs(self) -> int:
+        return self.reads + self.writes
+
+
+@dataclass(frozen=True)
+class BlockCosts:
+    """What a compute block costs beyond its pure work cycles."""
+
+    #: uncontended processor stall cycles on the local hierarchy
+    stall_cycles: int
+    #: bytes the block moves across the node's memory bus
+    bus_bytes: int
+    #: memory-bus transactions (cache-line fills + writebacks)
+    bus_transactions: int
+
+
+class CacheModel:
+    """Converts :class:`BlockAccessProfile` into :class:`BlockCosts`.
+
+    Parameters
+    ----------
+    arch:
+        The fixed architecture parameters.
+    writeback_fraction:
+        Fraction of L2 fills that evict a dirty line (adds writeback
+        traffic on the bus).
+    wb_stall_fraction:
+        Fraction of writes that find the write buffer at its retire
+        threshold and stall the processor (the write buffer has
+        ``wb_entries`` entries and a retire-at-``wb_retire_at`` policy;
+        under the 1-IPC core a small constant fraction stalls).
+    """
+
+    def __init__(
+        self,
+        arch: ArchParams,
+        writeback_fraction: float = 0.25,
+        wb_stall_fraction: float = 0.05,
+    ) -> None:
+        if not 0.0 <= writeback_fraction <= 1.0:
+            raise ValueError("writeback_fraction outside [0, 1]")
+        if not 0.0 <= wb_stall_fraction <= 1.0:
+            raise ValueError("wb_stall_fraction outside [0, 1]")
+        self.arch = arch
+        self.writeback_fraction = writeback_fraction
+        self.wb_stall_fraction = wb_stall_fraction
+
+    # ------------------------------------------------------------------ #
+    def line_fill_cycles(self) -> int:
+        """Uncontended cycles to fill one cache line from local memory."""
+        a = self.arch
+        transfer = a.line_bytes / a.membus_bytes_per_cycle
+        return int(a.mem_latency_cycles + a.membus_arb_cycles + transfer)
+
+    def block_costs(self, profile: BlockAccessProfile) -> BlockCosts:
+        """Evaluate the analytic model for one block."""
+        a = self.arch
+        l1_misses = profile.refs * profile.l1_miss_rate
+        l2_misses = l1_misses * profile.l2_miss_rate
+        l2_hits = l1_misses - l2_misses
+
+        stall = 0.0
+        # L2 hits: the extra latency beyond the 1-cycle L1 hit already
+        # folded into the 1-IPC execution model.
+        stall += l2_hits * (a.l2_hit_cycles - a.l1_hit_cycles)
+        # L2 misses: full memory latency (reads stall the 1-IPC core).
+        stall += l2_misses * self.line_fill_cycles()
+        # Write-buffer pressure: write-through L1 sends every write to the
+        # buffer; a fraction stalls at the retire threshold.
+        stall += profile.writes * self.wb_stall_fraction * a.wb_full_stall_cycles
+
+        fills = l2_misses
+        writebacks = fills * self.writeback_fraction
+        transactions = fills + writebacks
+        bus_bytes = transactions * a.line_bytes
+
+        return BlockCosts(
+            stall_cycles=int(stall),
+            bus_bytes=int(bus_bytes),
+            bus_transactions=int(transactions),
+        )
+
+    # ------------------------------------------------------------------ #
+    def miss_rates_for_working_set(self, working_set_bytes: int) -> tuple[float, float]:
+        """Heuristic (l1, l2) miss-rate pair for a block touching a working
+        set of the given size with moderate locality.
+
+        Used by application generators to make miss rates respond to
+        problem size and to the serial-vs-parallel working-set effect the
+        paper calls out for Ocean (the per-processor working set fits in
+        cache in parallel but not serially).
+        """
+        a = self.arch
+        if working_set_bytes <= a.l1_bytes:
+            l1 = 0.01
+        elif working_set_bytes <= 4 * a.l1_bytes:
+            l1 = 0.05
+        else:
+            l1 = 0.12
+        if working_set_bytes <= a.l2_bytes:
+            l2 = 0.05
+        elif working_set_bytes <= 2 * a.l2_bytes:
+            l2 = 0.35
+        else:
+            l2 = 0.75
+        return l1, l2

@@ -1,0 +1,238 @@
+"""Processor model with interrupt-aware time accounting.
+
+Each simulated processor runs one application thread (its trace) and may
+additionally be the target of protocol interrupts.  Interrupt handlers
+*steal* the CPU: while a handler runs, the application thread makes no
+progress.  The paper's central result — interrupt cost dominates SVM
+performance — falls out of exactly this interaction, so it is modelled
+carefully:
+
+* Handlers on one CPU are serialized (:attr:`Processor._handler_lock`).
+* The application thread's occupancy loop measures the integral of
+  handler-busy time over its own window and extends itself by exactly
+  that amount (see :meth:`Processor._occupied`) — an exact model of
+  preemption without event-level context switching.
+
+Every cycle a processor spends is charged to one category of
+:class:`ProcessorStats` (compute, local stall, data wait, lock wait,
+barrier wait, handler, host overhead), giving the paper's per-application
+cost breakdowns (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, Iterator, Optional
+
+from repro.sim.primitives import Event
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.membus import MemoryBus
+    from repro.sim.engine import Simulator
+
+#: time-accounting categories (mirrors the paper's breakdowns);
+#: "protocol" is on-CPU protocol work in application context (twin
+#: creation, diff computation at releases), as opposed to "handler"
+#: (interrupt-driven protocol work stealing the CPU)
+TIME_CATEGORIES = (
+    "compute",
+    "local_stall",
+    "data_wait",
+    "lock_wait",
+    "barrier_wait",
+    "handler",
+    "overhead",
+    "protocol",
+)
+
+
+class ProcessorStats:
+    """Per-processor time breakdown plus protocol event counters."""
+
+    __slots__ = ("time", "counters")
+
+    def __init__(self) -> None:
+        self.time: Dict[str, int] = {cat: 0 for cat in TIME_CATEGORIES}
+        self.counters: Dict[str, int] = {}
+
+    def add(self, category: str, cycles: int) -> None:
+        if category not in self.time:
+            raise KeyError(f"unknown time category {category!r}")
+        if cycles < 0:
+            raise ValueError(f"negative time {cycles} for {category!r}")
+        self.time[category] += cycles
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def get_count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    @property
+    def busy_cycles(self) -> int:
+        return sum(self.time.values())
+
+    def merged_with(self, other: "ProcessorStats") -> "ProcessorStats":
+        out = ProcessorStats()
+        for cat in TIME_CATEGORIES:
+            out.time[cat] = self.time[cat] + other.time[cat]
+        for name in set(self.counters) | set(other.counters):
+            out.counters[name] = self.get_count(name) + other.get_count(name)
+        return out
+
+
+class Processor:
+    """One CPU of an SMP node.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    global_id:
+        Processor index across the whole cluster (0..P-1).
+    cpu_index:
+        Index within the owning node (0..procs_per_node-1).
+    bus:
+        The node's :class:`~repro.arch.membus.MemoryBus` (may be attached
+        after construction via :attr:`bus`).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        global_id: int,
+        cpu_index: int = 0,
+        bus: Optional["MemoryBus"] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.global_id = global_id
+        self.cpu_index = cpu_index
+        self.bus = bus
+        self.name = name or f"cpu{global_id}"
+        self.stats = ProcessorStats()
+        self.node: Any = None  # back-reference set by the cluster builder
+
+        self._handler_lock = Resource(sim, capacity=1, name=f"{self.name}.irq")
+        self._handler_busy_completed = 0
+        self._active_start: Optional[int] = None
+        self._active_end: Optional[Event] = None
+        #: wall-clock time at which this CPU's application thread finished
+        self.finish_time: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # handler-time bookkeeping
+    # ------------------------------------------------------------------ #
+    def handler_busy_now(self) -> int:
+        """Cumulative handler-busy cycles on this CPU as of now."""
+        busy = self._handler_busy_completed
+        if self._active_start is not None:
+            busy += self.sim.now - self._active_start
+        return busy
+
+    @property
+    def handler_active(self) -> bool:
+        return self._active_start is not None
+
+    def run_handler(self, body: Iterator) -> Generator:
+        """Run ``body`` as an interrupt handler on this CPU.
+
+        Yieldable generator: handlers on the same CPU serialize; the
+        handler's full duration (including any bus waits inside the body)
+        is charged to this CPU's ``handler`` time and steals cycles from
+        the application thread.  Returns the body's return value.
+        """
+        yield self._handler_lock.acquire()
+        self._active_start = self.sim.now
+        self._active_end = Event(self.sim, name=f"{self.name}.irq_end")
+        try:
+            result = yield from body
+        finally:
+            duration = self.sim.now - self._active_start
+            self._handler_busy_completed += duration
+            self.stats.add("handler", duration)
+            self._active_start = None
+            end_event, self._active_end = self._active_end, None
+            end_event.succeed()
+            self._handler_lock.release()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # application-thread occupancy
+    # ------------------------------------------------------------------ #
+    def _occupied(self, cycles: int) -> Generator:
+        """Occupy the CPU for ``cycles`` of *application* time.
+
+        Extends itself by exactly the handler-busy time that overlaps it,
+        so the application thread loses one cycle per stolen cycle.
+        """
+        remaining = int(cycles)
+        while True:
+            while self._active_end is not None:
+                yield self._active_end
+            if remaining <= 0:
+                break
+            busy_before = self.handler_busy_now()
+            yield self.sim.timeout(remaining)
+            remaining = self.handler_busy_now() - busy_before
+
+    def busy(self, cycles: int, category: str) -> Generator:
+        """Occupy the CPU and charge the time to ``category``."""
+        self.stats.add(category, int(cycles))
+        yield from self._occupied(int(cycles))
+
+    def run_block(
+        self,
+        work_cycles: int,
+        stall_cycles: int = 0,
+        bus_bytes: int = 0,
+    ) -> Generator:
+        """Execute one compute block: work + local stall + bus demand.
+
+        The block's local-miss traffic is registered as background load on
+        the node's memory bus for the block's duration; the stall
+        component is inflated by the contention multiplier the bus
+        reports (see :class:`~repro.arch.membus.MemoryBus`).
+        """
+        work = int(work_cycles)
+        stall = int(stall_cycles)
+        base = work + stall
+        if base <= 0:
+            return
+        rate = (bus_bytes / base) if bus_bytes else 0.0
+        stall_eff = stall
+        if self.bus is not None and base > 0:
+            if rate:
+                self.bus.register_background(rate)
+            try:
+                if stall:
+                    stall_eff = int(stall * self.bus.stall_multiplier(rate, base))
+                self.stats.add("compute", work)
+                self.stats.add("local_stall", stall_eff)
+                yield from self._occupied(work + stall_eff)
+            finally:
+                if rate:
+                    self.bus.unregister_background(rate)
+        else:
+            self.stats.add("compute", work)
+            if stall:
+                self.stats.add("local_stall", stall)
+            yield from self._occupied(work + stall)
+
+    # ------------------------------------------------------------------ #
+    # blocked-time accounting
+    # ------------------------------------------------------------------ #
+    def wait_for(self, waitable, category: str):
+        """Wait on ``waitable`` charging the elapsed time to ``category``."""
+        t0 = self.sim.now
+        value = yield waitable
+        self.stats.add(category, self.sim.now - t0)
+        return value
+
+    def wait_cycles(self, cycles: int, category: str) -> Generator:
+        """Sleep (not occupying the CPU) charging time to ``category``."""
+        self.stats.add(category, int(cycles))
+        yield self.sim.timeout(int(cycles))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Processor({self.name})"

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available applications and experiments.
+``run APP``
+    Simulate one application and print the speedup and time breakdown.
+``sweep APP PARAM V1 V2 ...``
+    Sweep one communication parameter for one application.
+``experiment ID``
+    Regenerate one of the paper's tables/figures (or an extension study).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.apps import APP_ORDER, app_names, get_app
+from repro.core import ClusterConfig, run_simulation
+from repro.core.reporting import format_table
+
+
+def _experiment_registry() -> Dict[str, Callable]:
+    from repro.experiments import (
+        ablations,
+        breakdowns,
+        correlations,
+        figure01_speedups,
+        figure03_messages,
+        figure04_bytes,
+        figure05_host_overhead,
+        figure06_ni_occupancy,
+        figure07_io_bandwidth,
+        figure09_interrupt,
+        figure11_aurc_occupancy,
+        figure12_page_size,
+        figure13_clustering,
+        interrupt_variants,
+        microbench,
+        multi_ni,
+        problem_size,
+        protocol_processing,
+        table02_events,
+        table03_slowdowns,
+        table04_attribution,
+        table04_speedups,
+    )
+
+    return {
+        "figure01": figure01_speedups.run,
+        "table02": table02_events.run,
+        "figure03": figure03_messages.run,
+        "figure04": figure04_bytes.run,
+        "figure05": figure05_host_overhead.run,
+        "figure05b": correlations.run_host_vs_messages,
+        "figure06": figure06_ni_occupancy.run,
+        "figure07": figure07_io_bandwidth.run,
+        "figure08": correlations.run_bandwidth_vs_bytes,
+        "figure09": figure09_interrupt.run,
+        "figure10": correlations.run_interrupt_vs_fetches,
+        "figure11": figure11_aurc_occupancy.run,
+        "table03": table03_slowdowns.run,
+        "table04": table04_speedups.run,
+        "figure12": figure12_page_size.run,
+        "figure13": figure13_clustering.run,
+        "section5-uninode": interrupt_variants.run_uniprocessor_nodes,
+        "section5-roundrobin": interrupt_variants.run_round_robin,
+        "section7-attribution": lambda scale=1.0, apps=None: table04_attribution.run(
+            scale=scale
+        ),
+        "section10-processing": protocol_processing.run,
+        "section10-multini": multi_ni.run,
+        "problem-size": problem_size.run,
+        "ablations": ablations.run,
+        "breakdowns": breakdowns.run,
+        "microbench": lambda scale=1.0, apps=None: microbench.run(),
+    }
+
+
+def _add_comm_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5, help="problem-size multiplier")
+    parser.add_argument("--protocol", choices=("hlrc", "aurc"), default="hlrc")
+    parser.add_argument("--procs-per-node", type=int, default=4)
+    parser.add_argument("--page-size", type=int, default=4096)
+    parser.add_argument("--host-overhead", type=int, default=500)
+    parser.add_argument("--io-bw", type=float, default=0.5, help="MB per MHz")
+    parser.add_argument("--ni-occupancy", type=int, default=500)
+    parser.add_argument("--interrupt-cost", type=int, default=500, help="per side")
+    parser.add_argument(
+        "--processing",
+        choices=("interrupt", "polling-dedicated", "ni-offload"),
+        default="interrupt",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _config_from(args: argparse.Namespace) -> ClusterConfig:
+    return ClusterConfig(protocol=args.protocol, seed=args.seed).with_comm(
+        procs_per_node=args.procs_per_node,
+        page_size=args.page_size,
+        host_overhead=args.host_overhead,
+        io_bus_mb_per_mhz=args.io_bw,
+        ni_occupancy=args.ni_occupancy,
+        interrupt_cost=args.interrupt_cost,
+        protocol_processing=args.processing,
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("applications:")
+    for name in app_names():
+        print(f"  {name}")
+    print("\nexperiments:")
+    for name in _experiment_registry():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.app not in APP_ORDER:
+        print(f"unknown application {args.app!r}; see `repro list`", file=sys.stderr)
+        return 2
+    config = _config_from(args)
+    app = get_app(
+        args.app, page_size=args.page_size, scale=args.scale, seed=args.seed
+    )
+    result = run_simulation(app, config)
+    print(result.summary())
+    rows = [
+        [cat, cycles, f"{frac:.1%}"]
+        for (cat, cycles), frac in zip(
+            result.time_breakdown().items(), result.breakdown_fractions().values()
+        )
+        if cycles
+    ]
+    print()
+    print(format_table(["category", "cycles", "share"], rows, title="Time breakdown"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweeps import sweep_comm_param
+
+    caster = float if args.param == "io_bus_mb_per_mhz" else int
+    values = [caster(v) for v in args.values]
+    base = _config_from(args)
+    results = sweep_comm_param(
+        args.app, args.param, values, base=base, scale=args.scale
+    )
+    rows = [[v, round(r.speedup, 2)] for v, r in zip(values, results)]
+    print(format_table([args.param, "speedup"], rows, title=f"{args.app} sweep"))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.id not in registry:
+        print(f"unknown experiment {args.id!r}; see `repro list`", file=sys.stderr)
+        return 2
+    kwargs = {"scale": args.scale}
+    if args.apps:
+        kwargs["apps"] = args.apps
+    out = registry[args.id](**kwargs)
+    print(out.table_str())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SVM cluster simulator (Bilas & Singh SC'97 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and experiments")
+
+    p_run = sub.add_parser("run", help="simulate one application")
+    p_run.add_argument("app")
+    _add_comm_options(p_run)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one communication parameter")
+    p_sweep.add_argument("app")
+    p_sweep.add_argument(
+        "param",
+        choices=(
+            "host_overhead",
+            "io_bus_mb_per_mhz",
+            "ni_occupancy",
+            "interrupt_cost",
+            "page_size",
+            "procs_per_node",
+        ),
+    )
+    p_sweep.add_argument("values", nargs="+")
+    _add_comm_options(p_sweep)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("id")
+    p_exp.add_argument("--scale", type=float, default=0.5)
+    p_exp.add_argument("--apps", nargs="*", default=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

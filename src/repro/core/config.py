@@ -1,0 +1,66 @@
+"""Top-level simulation configuration.
+
+A :class:`ClusterConfig` fully determines a run: the fixed architecture,
+the communication parameters under study, the protocol variant, the
+machine size, and the page-home policy.  Configurations are frozen and
+hashable so sweeps can cache and label runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.arch.params import ACHIEVABLE, ArchParams, CommParams
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to assemble and run a simulated cluster."""
+
+    arch: ArchParams = field(default_factory=ArchParams)
+    comm: CommParams = field(default_factory=lambda: ACHIEVABLE)
+    #: protocol variant: "hlrc" (all-software) or "aurc" (automatic update)
+    protocol: str = "hlrc"
+    #: total processors in the cluster (the paper uses 16 throughout)
+    total_procs: int = 16
+    #: page home-assignment policy (see repro.osys.vm.PageDirectory)
+    home_policy: str = "first_touch"
+    #: RNG seed for workload generation
+    seed: int = 42
+    #: diagnostic switch used by the paper's Section 7 attribution
+    #: experiments: make every remote page fetch free (all faults appear
+    #: local), isolating fetch cost from the other overheads
+    free_page_fetches: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("hlrc", "aurc"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.total_procs < 1:
+            raise ValueError("total_procs must be >= 1")
+        if self.total_procs % self.comm.procs_per_node:
+            raise ValueError(
+                f"total_procs {self.total_procs} not divisible by "
+                f"procs_per_node {self.comm.procs_per_node}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return self.total_procs // self.comm.procs_per_node
+
+    def with_comm(self, **kw) -> "ClusterConfig":
+        """New config with updated communication parameters."""
+        return dataclasses.replace(self, comm=self.comm.replace(**kw))
+
+    def replace(self, **kw) -> "ClusterConfig":
+        return dataclasses.replace(self, **kw)
+
+    def label(self) -> str:
+        """Short human-readable description for reports."""
+        c = self.comm
+        return (
+            f"{self.protocol} P={self.total_procs} ppn={c.procs_per_node} "
+            f"o={c.host_overhead} occ={c.ni_occupancy} "
+            f"bw={c.io_bus_mb_per_mhz} intr={c.interrupt_cost} "
+            f"pg={c.page_size}"
+        )

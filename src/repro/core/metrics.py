@@ -1,0 +1,137 @@
+"""Run results: time breakdowns, speedups, normalized event rates.
+
+Definitions follow the paper:
+
+* **speedup** — uniprocessor execution time divided by parallel time;
+* **ideal speedup** — uniprocessor time over the maximum per-processor
+  (compute + local cache stall) time, i.e. all communication and
+  synchronization costs zeroed (Figure 1's "ideal");
+* event rates (Table 2, Figures 3-4) are reported *per processor per
+  million compute cycles*, averaged over processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.arch.processor import TIME_CATEGORIES, ProcessorStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.base import AppTrace
+    from repro.core.config import ClusterConfig
+    from repro.protocol.base import ProtocolCounters
+
+
+@dataclass
+class RunResult:
+    """Everything measured by one simulation run."""
+
+    app_name: str
+    problem: str
+    config: "ClusterConfig"
+    #: wall-clock parallel execution time in cycles
+    total_cycles: int
+    #: uniprocessor execution time from the workload model
+    serial_cycles: int
+    #: per-processor stats (time categories + counters)
+    proc_stats: List[ProcessorStats]
+    #: cluster-wide protocol counters
+    counters: "ProtocolCounters"
+    #: maximum per-processor uncontended compute+stall cycles, straight
+    #: from the workload model (used for the ideal speedup; the measured
+    #: stats include bus-contention inflation, which ideal must not)
+    uncontended_busy_max: int = 0
+    #: extra run metadata (network bytes, NI stats, ...)
+    meta: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # speedups
+    # ------------------------------------------------------------------ #
+    @property
+    def n_procs(self) -> int:
+        return len(self.proc_stats)
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_cycles / max(1, self.total_cycles)
+
+    @property
+    def ideal_speedup(self) -> float:
+        busiest = self.uncontended_busy_max
+        if not busiest:  # fall back to measured busy time
+            busiest = max(
+                s.time["compute"] + s.time["local_stall"] for s in self.proc_stats
+            )
+        return self.serial_cycles / max(1, busiest)
+
+    def slowdown_vs(self, other: "RunResult") -> float:
+        """Fractional slowdown of *this* run relative to ``other``
+        (positive = this run is slower), as in Table 3."""
+        return (other.speedup - self.speedup) / other.speedup
+
+    # ------------------------------------------------------------------ #
+    # breakdowns
+    # ------------------------------------------------------------------ #
+    def time_breakdown(self) -> Dict[str, int]:
+        """Aggregate cycles per category across processors."""
+        total = {cat: 0 for cat in TIME_CATEGORIES}
+        for s in self.proc_stats:
+            for cat in TIME_CATEGORIES:
+                total[cat] += s.time[cat]
+        return total
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Category shares of total busy+wait time."""
+        bd = self.time_breakdown()
+        denom = max(1, sum(bd.values()))
+        return {cat: cycles / denom for cat, cycles in bd.items()}
+
+    # ------------------------------------------------------------------ #
+    # normalized event rates (Table 2 / Figures 3-4 units)
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_compute_cycles(self) -> float:
+        return sum(s.time["compute"] for s in self.proc_stats) / self.n_procs
+
+    def per_proc_per_mcycle(self, counter: str) -> float:
+        """Counter events per processor per million compute cycles."""
+        total = sum(s.get_count(counter) for s in self.proc_stats)
+        mcycles = max(1e-9, self.mean_compute_cycles / 1e6)
+        return total / self.n_procs / mcycles
+
+    def cluster_rate_per_mcycle(self, value: float) -> float:
+        mcycles = max(1e-9, self.mean_compute_cycles / 1e6)
+        return value / self.n_procs / mcycles
+
+    @property
+    def messages_per_proc_per_mcycle(self) -> float:
+        return self.per_proc_per_mcycle("messages_sent")
+
+    @property
+    def mbytes_per_proc_per_mcycle(self) -> float:
+        total = sum(s.get_count("bytes_sent") for s in self.proc_stats)
+        mcycles = max(1e-9, self.mean_compute_cycles / 1e6)
+        return total / (1 << 20) / self.n_procs / mcycles
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        bd = self.breakdown_fractions()
+        parts = ", ".join(f"{k}={v:.0%}" for k, v in bd.items() if v >= 0.005)
+        return (
+            f"{self.app_name:>14}  speedup={self.speedup:5.2f} "
+            f"(ideal {self.ideal_speedup:5.2f})  T={self.total_cycles:>12} cyc  "
+            f"[{parts}]"
+        )
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean (the paper's metric for combining msgs x bytes)."""
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table.
+
+    >>> print(format_table(["app", "speedup"], [["fft", 4.5]]))
+    app  speedup
+    ---  -------
+    fft     4.50
+    """
+    cells: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(items: Sequence[str], pad_left_from: int = 1) -> str:
+        parts = []
+        for i, item in enumerate(items):
+            if i == 0:
+                parts.append(item.ljust(widths[i]))
+            else:
+                parts.append(item.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join(("-" * w) for w in widths))
+    for row in cells:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    """Slowdown formatting matching Table 3 (negative = speedup)."""
+    return f"{value * 100:+.1f}%"

@@ -1,0 +1,109 @@
+"""Trace execution: drive an :class:`~repro.apps.base.AppTrace` through a
+simulated cluster and collect a :class:`~repro.core.metrics.RunResult`.
+
+This is the main user-facing entry point::
+
+    result = run_simulation(get_app("fft", scale=0.25), ClusterConfig())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.apps.base import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ,
+    RELEASE,
+    TOUCH,
+    WRITE,
+    AppTrace,
+)
+from repro.core.cluster import Cluster
+from repro.core.config import ClusterConfig
+from repro.core.metrics import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.processor import Processor
+
+
+def _worker(cluster: Cluster, cpu: "Processor", events: List) -> object:
+    """The application thread of one processor."""
+    proto = cluster.protocol
+    for ev in events:
+        kind = ev[0]
+        if kind == COMPUTE:
+            yield from cpu.run_block(ev[1], ev[2], ev[3])
+        elif kind == READ:
+            yield from proto.read(cpu, ev[1])
+        elif kind == WRITE:
+            yield from proto.write(cpu, ev[1], ev[2], ev[3] if len(ev) > 3 else 1)
+        elif kind == ACQUIRE:
+            yield from proto.acquire(cpu, ev[1])
+        elif kind == RELEASE:
+            yield from proto.release(cpu, ev[1])
+        elif kind == BARRIER:
+            yield from proto.barrier(cpu, ev[1])
+        elif kind == TOUCH:
+            yield from proto.first_touch(cpu, ev[1])
+        else:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+    cpu.finish_time = cluster.sim.now
+
+
+def run_simulation(
+    app: AppTrace,
+    config: Optional[ClusterConfig] = None,
+    max_events: Optional[int] = None,
+) -> RunResult:
+    """Simulate ``app`` on a cluster built from ``config``.
+
+    Parameters
+    ----------
+    app:
+        The workload trace (its ``n_procs`` must equal the config's
+        ``total_procs``).
+    config:
+        Cluster configuration; defaults to the achievable set.
+    max_events:
+        Optional safety valve forwarded to the simulator.
+    """
+    if config is None:
+        config = ClusterConfig()
+    if app.n_procs != config.total_procs:
+        raise ValueError(
+            f"trace built for {app.n_procs} processors but config has "
+            f"{config.total_procs}"
+        )
+    cluster = Cluster(config)
+    for proc_id, events in enumerate(app.events):
+        cluster.sim.spawn(
+            _worker(cluster, cluster.procs[proc_id], events), name=f"app.p{proc_id}"
+        )
+    cluster.sim.run(max_events=max_events)
+
+    unfinished = [c.name for c in cluster.procs if c.finish_time is None]
+    if unfinished:
+        raise RuntimeError(f"deadlock: processors never finished: {unfinished}")
+
+    total = max(c.finish_time for c in cluster.procs)
+    meta = {
+        "network_messages": float(cluster.network.messages_carried),
+        "network_bytes": float(cluster.network.bytes_carried),
+        "sim_events": float(cluster.sim.dispatched),
+        "interrupts": float(
+            sum(node.irq.interrupts_raised for node in cluster.nodes)
+        ),
+    }
+    return RunResult(
+        app_name=app.name,
+        problem=app.problem,
+        config=config,
+        total_cycles=total,
+        serial_cycles=app.serial_cycles,
+        proc_stats=[c.stats for c in cluster.procs],
+        counters=cluster.protocol.counters,
+        uncontended_busy_max=app.max_busy_cycles,
+        meta=meta,
+    )

@@ -1,0 +1,84 @@
+"""Parameter-sweep helpers with per-process run caching.
+
+Every experiment is some grid of (application x configuration) runs; the
+cache keeps shared points (e.g. the achievable baseline) from being
+simulated repeatedly within one process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.apps import APP_ORDER, get_app
+from repro.apps.base import AppTrace
+from repro.core.config import ClusterConfig
+from repro.core.metrics import RunResult
+from repro.core.run import run_simulation
+
+_RUN_CACHE: Dict[Tuple, RunResult] = {}
+_TRACE_CACHE: Dict[Tuple, AppTrace] = {}
+
+
+def clear_caches() -> None:
+    _RUN_CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+def cached_trace(name: str, scale: float, page_size: int, seed: int) -> AppTrace:
+    key = (name, scale, page_size, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = _TRACE_CACHE[key] = get_app(
+            name, n_procs=16, page_size=page_size, scale=scale, seed=seed
+        )
+    return trace
+
+
+def cached_run(name: str, scale: float, config: ClusterConfig) -> RunResult:
+    """Run (or fetch) one (app, config) point.
+
+    The trace is regenerated when the configuration's page size changes
+    (page numbers depend on it); clustering changes reuse the same trace.
+    """
+    key = (name, scale, config)
+    result = _RUN_CACHE.get(key)
+    if result is None:
+        trace = cached_trace(name, scale, config.comm.page_size, config.seed)
+        result = _RUN_CACHE[key] = run_simulation(trace, config)
+    return result
+
+
+def sweep_comm_param(
+    app_name: str,
+    param: str,
+    values: Sequence,
+    base: Optional[ClusterConfig] = None,
+    scale: float = 1.0,
+) -> List[RunResult]:
+    """Vary one CommParams field over ``values`` (all else achievable)."""
+    base = base if base is not None else ClusterConfig()
+    return [
+        cached_run(app_name, scale, base.with_comm(**{param: v})) for v in values
+    ]
+
+
+def run_apps(
+    config: Optional[ClusterConfig] = None,
+    apps: Optional[Iterable[str]] = None,
+    scale: float = 1.0,
+) -> Dict[str, RunResult]:
+    """One run per application under ``config``."""
+    config = config if config is not None else ClusterConfig()
+    names = list(apps) if apps is not None else list(APP_ORDER)
+    return {name: cached_run(name, scale, config) for name in names}
+
+
+def max_slowdown(results: Sequence[RunResult]) -> float:
+    """Fractional slowdown between the best and worst speedup in a sweep
+    (paper Table 3; negative would mean the 'worst' value helped)."""
+    speedups = [r.speedup for r in results]
+    return (speedups[0] - speedups[-1]) / speedups[0]
+
+
+def slowdown_between(first: RunResult, last: RunResult) -> float:
+    return (first.speedup - last.speedup) / first.speedup

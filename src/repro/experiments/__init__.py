@@ -1,0 +1,11 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Each module exposes ``run(scale=..., apps=...) -> ExperimentOutput``; the
+benchmark harness (``benchmarks/``) calls these and prints the same
+rows/series the paper reports.  See DESIGN.md's experiment index for the
+paper-to-module mapping.
+"""
+
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
+
+__all__ = ["DEFAULT_SCALE", "ExperimentOutput"]

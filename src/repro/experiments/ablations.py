@@ -1,0 +1,69 @@
+"""Model ablations — how much the simulator's design choices matter.
+
+DESIGN.md calls out two modelling decisions worth auditing:
+
+* **cut-through vs store-and-forward transfers** — we model messages as
+  pipelining through the DMA/link stages (latency = bottleneck stage).
+  The store-and-forward ablation pays the *sum* of the stages, roughly
+  doubling bandwidth-driven latency and exaggerating every bandwidth
+  sensitivity;
+* **the serial NI receive gate** — the single-threaded assist stalls its
+  receive dispatch while signalling a host interrupt, which couples
+  interrupt cost into data waits.  Disabling the gate removes the
+  paper's characteristic interrupt knee amplification.
+
+Each ablation reruns a small application set under the achievable
+configuration and the relevant parameter extreme, reporting speedups for
+both model settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.arch.params import ArchParams
+from repro.core.config import ClusterConfig
+from repro.core.sweeps import cached_run
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
+
+DEFAULT_ABLATION_APPS = ("fft", "lu", "raytrace")
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    names = list(apps) if apps is not None else list(DEFAULT_ABLATION_APPS)
+    rows = []
+    data = {}
+
+    def point(name: str, arch: ArchParams, **comm_kw) -> float:
+        cfg = ClusterConfig(arch=arch).with_comm(**comm_kw)
+        return cached_run(name, scale, cfg).speedup
+
+    base_arch = ArchParams()
+    saf_arch = dataclasses.replace(base_arch, model_cut_through=False)
+    nogate_arch = dataclasses.replace(base_arch, model_rx_gate=False)
+
+    for name in names:
+        entry = {
+            "base": point(name, base_arch),
+            "store-and-forward": point(name, saf_arch),
+            "base @bw=0.25": point(name, base_arch, io_bus_mb_per_mhz=0.25),
+            "s&f @bw=0.25": point(name, saf_arch, io_bus_mb_per_mhz=0.25),
+            "base @intr=10k": point(name, base_arch, interrupt_cost=10000),
+            "no-gate @intr=10k": point(name, nogate_arch, interrupt_cost=10000),
+        }
+        data[name] = entry
+        rows.append([name] + [round(v, 2) for v in entry.values()])
+
+    return ExperimentOutput(
+        experiment_id="ablations",
+        title="Model ablations: transfer pipelining and the NI receive gate",
+        headers=["application"] + list(next(iter(data.values())).keys()),
+        rows=rows,
+        data=data,
+        notes=(
+            "Store-and-forward inflates bandwidth sensitivity (lower speedups, "
+            "especially at 0.25 MB/MHz); removing the receive gate weakens the "
+            "interrupt-cost coupling at the 10k extreme."
+        ),
+    )

@@ -1,0 +1,142 @@
+"""Figures 5b, 8 and 10 — slowdown-vs-traffic correlations.
+
+The paper pairs each parameter sweep with a normalized bar chart showing
+that the per-application slowdown is predicted by a traffic statistic:
+
+* host-overhead slowdown  <-> messages sent       (its Figure 5b)
+* I/O-bandwidth slowdown  <-> bytes sent          (Figure 8)
+* interrupt-cost slowdown <-> page fetches + remote lock acquires (Figure 10)
+
+Each ``run_*`` returns both normalized series (largest value = 1.0) and
+their rank correlation, which should be strongly positive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import ClusterConfig
+from repro.core.sweeps import cached_run
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
+
+
+def _normalized(values: Dict[str, float]) -> Dict[str, float]:
+    top = max(values.values()) or 1.0
+    return {k: v / top for k, v in values.items()}
+
+
+def _rank_correlation(a: Dict[str, float], b: Dict[str, float]) -> float:
+    """Spearman rank correlation of two same-keyed series."""
+    keys = sorted(a)
+    n = len(keys)
+    if n < 2:
+        return 1.0
+
+    def ranks(series: Dict[str, float]) -> Dict[str, float]:
+        ordered = sorted(keys, key=lambda k: series[k])
+        return {k: i for i, k in enumerate(ordered)}
+
+    ra, rb = ranks(a), ranks(b)
+    d2 = sum((ra[k] - rb[k]) ** 2 for k in keys)
+    return 1 - 6 * d2 / (n * (n * n - 1))
+
+
+def _correlation_experiment(
+    experiment_id: str,
+    title: str,
+    param: str,
+    lo,
+    hi,
+    metric_fn,
+    metric_name: str,
+    scale: float,
+    apps: Optional[Iterable[str]],
+    notes: str,
+) -> ExperimentOutput:
+    base = ClusterConfig()
+    slowdowns: Dict[str, float] = {}
+    metrics: Dict[str, float] = {}
+    for name in pick_apps(apps):
+        fast = cached_run(name, scale, base.with_comm(**{param: lo}))
+        slow = cached_run(name, scale, base.with_comm(**{param: hi}))
+        baseline = cached_run(name, scale, base)
+        slowdowns[name] = max(0.0, (fast.speedup - slow.speedup) / fast.speedup)
+        metrics[name] = metric_fn(baseline)
+    norm_slow = _normalized(slowdowns)
+    norm_metric = _normalized(metrics)
+    rho = _rank_correlation(slowdowns, metrics)
+    rows: List[List] = [
+        [name, round(norm_slow[name], 3), round(norm_metric[name], 3)]
+        for name in sorted(norm_slow, key=norm_slow.get, reverse=True)
+    ]
+    return ExperimentOutput(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["application", "slowdown (normalized)", f"{metric_name} (normalized)"],
+        rows=rows,
+        data={
+            "slowdown": slowdowns,
+            "metric": metrics,
+            "rank_correlation": rho,
+        },
+        notes=notes + f"\nSpearman rank correlation: {rho:+.2f}",
+    )
+
+
+def run_host_vs_messages(
+    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+) -> ExperimentOutput:
+    """Figure 5b: host-overhead slowdown tracks messages sent."""
+    return _correlation_experiment(
+        "figure05b",
+        "Host-overhead slowdown vs messages sent",
+        "host_overhead",
+        0,
+        6000,
+        lambda r: r.messages_per_proc_per_mcycle,
+        "messages/proc/Mcycle",
+        scale,
+        apps,
+        "Paper shape: applications that send more messages depend more on "
+        "host overhead.",
+    )
+
+
+def run_bandwidth_vs_bytes(
+    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+) -> ExperimentOutput:
+    """Figure 8: I/O-bandwidth slowdown tracks bytes sent."""
+    return _correlation_experiment(
+        "figure08",
+        "I/O-bandwidth slowdown vs bytes sent",
+        "io_bus_mb_per_mhz",
+        2.0,
+        0.25,
+        lambda r: r.mbytes_per_proc_per_mcycle,
+        "MB/proc/Mcycle",
+        scale,
+        apps,
+        "Paper shape: applications that exchange a lot of data — not "
+        "necessarily many messages — need higher bandwidth.",
+    )
+
+
+def run_interrupt_vs_fetches(
+    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+) -> ExperimentOutput:
+    """Figure 10: interrupt-cost slowdown tracks page fetches + remote
+    lock acquires (the interrupt-raising events)."""
+    return _correlation_experiment(
+        "figure10",
+        "Interrupt-cost slowdown vs page fetches + remote lock acquires",
+        "interrupt_cost",
+        0,
+        10000,
+        lambda r: r.per_proc_per_mcycle("page_fetches")
+        + r.per_proc_per_mcycle("remote_lock_acquires"),
+        "(fetches+remote locks)/proc/Mcycle",
+        scale,
+        apps,
+        "Paper shape: interrupt-cost slowdown is closely related to the "
+        "number of protocol events that cause interrupts.",
+    )

@@ -1,0 +1,36 @@
+"""Figure 1 — ideal vs achievable ("realistic") speedups.
+
+The paper's motivating figure: for each application, the speedup with all
+communication and synchronization costs zeroed (*ideal*) against the
+speedup under the achievable communication parameters with four
+processors per node.  The gap is what the rest of the study explains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.config import ClusterConfig
+from repro.core.sweeps import cached_run
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    config = ClusterConfig()
+    rows = []
+    data = {}
+    for name in pick_apps(apps):
+        r = cached_run(name, scale, config)
+        rows.append([name, round(r.ideal_speedup, 2), round(r.speedup, 2)])
+        data[name] = {"ideal": r.ideal_speedup, "achievable": r.speedup}
+    return ExperimentOutput(
+        experiment_id="figure01",
+        title="Ideal and achievable speedups (16 processors, 4 per node)",
+        headers=["application", "ideal speedup", "achievable speedup"],
+        rows=rows,
+        data=data,
+        notes=(
+            "Paper shape: achievable is far below ideal for most applications; "
+            "protocol and communication overheads are substantial."
+        ),
+    )

@@ -1,0 +1,34 @@
+"""Figure 4 — MBytes sent per processor per million compute cycles,
+for 1, 4 and 8 processors per node."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arch.params import TABLE2_CLUSTERINGS
+from repro.core.config import ClusterConfig
+from repro.core.sweeps import cached_run
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    rows = []
+    data = {}
+    for name in pick_apps(apps):
+        series = {}
+        for ppn in TABLE2_CLUSTERINGS:
+            r = cached_run(name, scale, ClusterConfig().with_comm(procs_per_node=ppn))
+            series[ppn] = r.mbytes_per_proc_per_mcycle
+        data[name] = series
+        rows.append([name] + [round(series[p], 4) for p in TABLE2_CLUSTERINGS])
+    return ExperimentOutput(
+        experiment_id="figure04",
+        title="MBytes sent per processor per 1M compute cycles",
+        headers=["application"] + [f"{p} procs/node" for p in TABLE2_CLUSTERINGS],
+        rows=rows,
+        data=data,
+        notes=(
+            "Paper shape: FFT and Radix move the most data; byte volume, "
+            "not message count, predicts I/O-bandwidth sensitivity (Fig 8)."
+        ),
+    )

@@ -1,0 +1,25 @@
+"""Figure 5 — speedup vs host overhead (0..6000 cycles per message)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arch.params import HOST_OVERHEAD_SWEEP
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
+from repro.experiments.param_sweeps import sweep_figure
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    return sweep_figure(
+        "figure05",
+        "Speedup vs host overhead (cycles per message send)",
+        "host_overhead",
+        HOST_OVERHEAD_SWEEP,
+        scale=scale,
+        apps=apps,
+        notes=(
+            "Paper shape: slowdown is generally low for realistic asynchronous-"
+            "send overheads, and tracks the number of messages sent (Fig 5b); "
+            "host overhead is not a major factor for page-grain SVM."
+        ),
+    )

@@ -1,0 +1,24 @@
+"""Figure 6 — speedup vs NI occupancy per packet (HLRC)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arch.params import NI_OCCUPANCY_SWEEP
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
+from repro.experiments.param_sweeps import sweep_figure
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    return sweep_figure(
+        "figure06",
+        "Speedup vs network-interface occupancy per packet (HLRC)",
+        "ni_occupancy",
+        NI_OCCUPANCY_SWEEP,
+        scale=scale,
+        apps=apps,
+        notes=(
+            "Paper shape: even smaller effect than host overhead; only the "
+            "highest-message-count applications react at extreme occupancies."
+        ),
+    )

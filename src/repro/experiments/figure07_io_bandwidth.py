@@ -1,0 +1,27 @@
+"""Figure 7 — speedup vs I/O-bus bandwidth (2.0 down to 0.25 MB/MHz)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arch.params import IO_BANDWIDTH_SWEEP
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
+from repro.experiments.param_sweeps import sweep_figure
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    return sweep_figure(
+        "figure07",
+        "Speedup vs I/O-bus bandwidth (MB per processor-clock MHz)",
+        "io_bus_mb_per_mhz",
+        IO_BANDWIDTH_SWEEP,
+        scale=scale,
+        apps=apps,
+        value_labels=[f"{v} MB/MHz" for v in IO_BANDWIDTH_SWEEP],
+        notes=(
+            "Paper shape: reducing bandwidth hurts substantially, but only "
+            "FFT, Radix and Barnes-rebuild benefit much from raising it "
+            "beyond the achievable 0.5 MB/MHz; slowdown tracks bytes sent "
+            "(Fig 8)."
+        ),
+    )

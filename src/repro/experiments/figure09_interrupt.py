@@ -1,0 +1,26 @@
+"""Figure 9 — speedup vs interrupt cost (0..10000 cycles per side)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arch.params import INTERRUPT_COST_SWEEP
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
+from repro.experiments.param_sweeps import sweep_figure
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    return sweep_figure(
+        "figure09",
+        "Speedup vs interrupt cost (cycles per side; null = 2x)",
+        "interrupt_cost",
+        INTERRUPT_COST_SWEEP,
+        scale=scale,
+        apps=apps,
+        notes=(
+            "Paper shape: the dominant parameter — costs up to ~500-1000 per "
+            "side hurt little, beyond that every application degrades sharply "
+            "(Ocean's anomaly excepted); slowdown tracks page fetches plus "
+            "remote lock acquires (Fig 10)."
+        ),
+    )

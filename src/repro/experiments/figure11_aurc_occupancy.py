@@ -1,0 +1,34 @@
+"""Figure 11 — speedup vs NI occupancy under AURC.
+
+AURC's automatic-update hardware emits fine-grained, poorly-coalescing
+update packets, so — unlike HLRC (Figure 6) — NI occupancy matters."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arch.params import NI_OCCUPANCY_SWEEP
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
+from repro.experiments.param_sweeps import sweep_figure
+
+#: the paper plots a subset of regular + irregular applications for AURC;
+#: single-writer apps with home-local writes (LU, Ocean) emit few
+#: automatic updates and stay flat, multi-writer apps react strongly
+DEFAULT_AURC_APPS = ("lu", "ocean", "water-nsq", "barnes-rebuild")
+
+
+def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+    return sweep_figure(
+        "figure11",
+        "Speedup vs NI occupancy per packet (AURC)",
+        "ni_occupancy",
+        NI_OCCUPANCY_SWEEP,
+        scale=scale,
+        apps=apps if apps is not None else DEFAULT_AURC_APPS,
+        protocol="aurc",
+        notes=(
+            "Paper shape: NI occupancy is much more important under AURC than "
+            "under HLRC because updates are sent at fine granularity and may "
+            "not coalesce into packets."
+        ),
+    )

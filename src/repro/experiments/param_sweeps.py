@@ -1,0 +1,45 @@
+"""Shared machinery for the parameter-sweep figures (5, 6, 7, 9, 11).
+
+Each figure plots per-application speedup against one communication
+parameter, all other parameters held at their achievable values."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.config import ClusterConfig
+from repro.core.sweeps import cached_run
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
+
+
+def sweep_figure(
+    experiment_id: str,
+    title: str,
+    param: str,
+    values: Sequence,
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    protocol: str = "hlrc",
+    notes: str = "",
+    value_labels: Optional[List[str]] = None,
+) -> ExperimentOutput:
+    base = ClusterConfig(protocol=protocol)
+    labels = value_labels or [str(v) for v in values]
+    rows = []
+    data = {}
+    for name in pick_apps(apps):
+        speedups = []
+        for v in values:
+            r = cached_run(name, scale, base.with_comm(**{param: v}))
+            speedups.append(r.speedup)
+        data[name] = dict(zip(labels, speedups))
+        slowdown = (speedups[0] - speedups[-1]) / speedups[0]
+        rows.append([name] + [round(s, 2) for s in speedups] + [f"{slowdown * 100:+.1f}%"])
+    return ExperimentOutput(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["application"] + labels + ["max slowdown"],
+        rows=rows,
+        data=data,
+        notes=notes,
+    )

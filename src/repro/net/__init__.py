@@ -1,0 +1,23 @@
+"""Communication substrate: messages, NI, I/O bus, links, fast messaging.
+
+Implements the paper's communication architecture (Figure 2, right half):
+a programmable network interface on each node's I/O bus, connected by a
+contention-free system-area network, driven through a fast-messages
+library with asynchronous sends and RPC-style synchronous requests.
+"""
+
+from repro.net.iobus import IOBus
+from repro.net.link import Network
+from repro.net.message import Message, MessageKind
+from repro.net.messaging import MessagingLayer
+from repro.net.nic import NetworkInterface, NICGroup
+
+__all__ = [
+    "IOBus",
+    "Message",
+    "MessageKind",
+    "MessagingLayer",
+    "NICGroup",
+    "Network",
+    "NetworkInterface",
+]

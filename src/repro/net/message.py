@@ -1,0 +1,90 @@
+"""Message and packet types for the fast-messaging substrate.
+
+Three message kinds, mirroring the protocol's use of the messaging layer
+(paper Sections 2-3):
+
+* ``REQUEST`` — a remote protocol request (page fetch, remote lock
+  acquire, diff delivery).  Its arrival **interrupts** a processor at the
+  destination node; the interrupt cost is the paper's headline parameter.
+* ``REPLY`` — the response to a request.  Requests are synchronous
+  (RPC-like) precisely so that replies are *expected*: the reply is
+  deposited directly into host memory and wakes the blocked requester
+  **without an interrupt**.
+* ``SYNC`` — a synchronous point-to-point message some process at the
+  destination is already waiting for (barrier legs).  Also interrupt-free.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.primitives import Event
+
+_msg_ids = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    REQUEST = "request"
+    REPLY = "reply"
+    SYNC = "sync"
+    #: pure data deposit (AURC automatic updates): lands in destination
+    #: memory with no interrupt and no waiting receiver
+    DATA = "data"
+
+
+@dataclass
+class Message:
+    """One message travelling between nodes.
+
+    ``size_bytes`` is the payload; the wire adds a per-packet header.
+    ``tag`` selects the handler for REQUESTs or the rendezvous for SYNCs;
+    ``reply_to`` carries the event a REPLY must trigger.
+    """
+
+    src_node: int
+    dst_node: int
+    kind: MessageKind
+    size_bytes: int
+    tag: str = ""
+    payload: Any = None
+    reply_to: Optional["Event"] = None
+    #: optional event triggered when the message has been deposited into
+    #: destination host memory (set by the sending NI)
+    on_deposit: Optional["Event"] = None
+    #: minimum packet count regardless of size — AURC's automatic-update
+    #: hardware emits one packet per spatially/temporally disjoint write
+    #: run, so fine-grain updates cannot coalesce below this
+    min_packets: int = 1
+    #: receive-side NI chosen by the sender's pipelined reservation
+    #: (multi-NI nodes; see repro.net.nic.NICGroup)
+    rx_nic: Any = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        if self.src_node == self.dst_node:
+            raise ValueError("intra-node traffic never reaches the NI")
+        if self.kind is MessageKind.REPLY and self.reply_to is None:
+            raise ValueError("REPLY without reply_to event")
+
+    def packet_count(self, mtu: int) -> int:
+        """Packets needed at the given MTU (at least one, even if empty)."""
+        if mtu <= 0:
+            raise ValueError("mtu must be positive")
+        return max(1, self.min_packets, math.ceil(self.size_bytes / mtu))
+
+    def wire_bytes(self, mtu: int, header_bytes: int) -> int:
+        """Payload plus per-packet header overhead."""
+        return self.size_bytes + self.packet_count(mtu) * header_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.msg_id} {self.kind.value} {self.tag!r} "
+            f"{self.src_node}->{self.dst_node} {self.size_bytes}B)"
+        )

@@ -1,0 +1,242 @@
+"""Fast-messages layer: asynchronous sends, synchronous RPC, sync legs.
+
+This is the "basic communication library" of the paper (a fast messaging
+system in the style of FM/AM/VMMC).  It centralizes the cost structure of
+every protocol communication:
+
+* the sender pays the **host overhead** (swept parameter) on its CPU;
+* the NI pipeline (occupancy, DMA, link; see :mod:`repro.net.nic`) moves
+  the data;
+* ``REQUEST``s interrupt the destination; ``REPLY``/``SYNC`` do not.
+
+The protocol layer talks to remote nodes exclusively through
+:meth:`MessagingLayer.rpc` (synchronous request/reply, the page-fetch and
+remote-lock path) and :meth:`MessagingLayer.send_async` /
+:meth:`MessagingLayer.send_sync` (one-way traffic such as AURC updates and
+barrier legs).
+
+Accounting conventions
+----------------------
+Host overhead is charged to the CPU's ``overhead`` category when sent from
+application context, but as plain time when sent from *inside an interrupt
+handler* (the handler bracket already charges the whole duration to
+``handler``; charging again would double count).  Message/byte counters go
+to the sending CPU's stats either way, which is how Figures 3-4 count
+traffic per processor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from repro.net.message import Message, MessageKind
+from repro.sim.primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.params import ArchParams, CommParams
+    from repro.arch.processor import Processor
+    from repro.net.nic import NetworkInterface
+    from repro.sim.engine import Simulator
+
+
+class MessagingLayer:
+    """Cluster-wide messaging facade over the per-node NIs."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        arch: "ArchParams",
+        comm: "CommParams",
+        nics: Dict[int, "NetworkInterface"],
+    ) -> None:
+        self.sim = sim
+        self.arch = arch
+        self.comm = comm
+        self.nics = nics
+
+    # ------------------------------------------------------------------ #
+    # cost/accounting helpers
+    # ------------------------------------------------------------------ #
+    def _charge_send(
+        self,
+        cpu: "Processor",
+        msg: Message,
+        in_handler: bool,
+    ) -> Generator:
+        """Pay host overhead and count the message on the sending CPU."""
+        wire = msg.wire_bytes(self.arch.packet_mtu, self.arch.packet_header_bytes)
+        cpu.stats.count("messages_sent")
+        cpu.stats.count("bytes_sent", wire)
+        overhead = self.comm.host_overhead
+        if overhead:
+            if in_handler:
+                # Handler bracket charges this time to 'handler'.
+                yield self.sim.timeout(overhead)
+            else:
+                yield from cpu.busy(overhead, "overhead")
+
+    def _nic(self, node_id: int) -> "NetworkInterface":
+        try:
+            return self.nics[node_id]
+        except KeyError:
+            raise ValueError(f"no NI for node {node_id}") from None
+
+    # ------------------------------------------------------------------ #
+    # public send operations (all are generators to be `yield from`-ed)
+    # ------------------------------------------------------------------ #
+    def rpc(
+        self,
+        cpu: "Processor",
+        src_node: int,
+        dst_node: int,
+        tag: str,
+        size_bytes: int,
+        payload: Any = None,
+        wait_category: str = "data_wait",
+        in_handler: bool = False,
+    ) -> Generator:
+        """Synchronous request: send, block until the reply arrives.
+
+        Returns the reply payload.  The elapsed blocking time is charged to
+        ``wait_category`` (``data_wait`` for page fetches, ``lock_wait``
+        for lock acquires, ...).
+        """
+        reply_ev = Event(self.sim, name=f"rpc.{tag}")
+        msg = Message(
+            src_node=src_node,
+            dst_node=dst_node,
+            kind=MessageKind.REQUEST,
+            size_bytes=size_bytes,
+            tag=tag,
+            payload=payload,
+            reply_to=reply_ev,
+        )
+        yield from self._charge_send(cpu, msg, in_handler)
+        self._nic(src_node).send(msg)
+        if in_handler:
+            value = yield reply_ev
+        else:
+            value = yield from cpu.wait_for(reply_ev, wait_category)
+        return value
+
+    def send_reply(
+        self,
+        cpu: "Processor",
+        request: Message,
+        size_bytes: int,
+        payload: Any = None,
+    ) -> Generator:
+        """Send the reply to ``request`` (from inside its handler).
+
+        Replies never interrupt the requester: the NI deposits the data and
+        triggers the RPC's reply event directly.
+        """
+        if request.reply_to is None:
+            raise ValueError("request carries no reply_to event")
+        msg = Message(
+            src_node=request.dst_node,
+            dst_node=request.src_node,
+            kind=MessageKind.REPLY,
+            size_bytes=size_bytes,
+            tag=request.tag + ".reply",
+            payload=payload,
+            reply_to=request.reply_to,
+        )
+        yield from self._charge_send(cpu, msg, in_handler=True)
+        self._nic(msg.src_node).send(msg)
+
+    def send_async(
+        self,
+        cpu: "Processor",
+        src_node: int,
+        dst_node: int,
+        tag: str,
+        size_bytes: int,
+        payload: Any = None,
+        in_handler: bool = False,
+    ) -> Generator:
+        """One-way REQUEST (interrupts the destination); returns the
+        deposit event so callers may later wait for delivery."""
+        msg = Message(
+            src_node=src_node,
+            dst_node=dst_node,
+            kind=MessageKind.REQUEST,
+            size_bytes=size_bytes,
+            tag=tag,
+            payload=payload,
+            reply_to=Event(self.sim, name=f"async.{tag}"),
+        )
+        yield from self._charge_send(cpu, msg, in_handler)
+        self._nic(src_node).send(msg)
+        return msg.reply_to
+
+    def send_sync(
+        self,
+        cpu: "Processor",
+        src_node: int,
+        dst_node: int,
+        tag: str,
+        size_bytes: int,
+        payload: Any = None,
+        in_handler: bool = False,
+        min_packets: int = 1,
+        free_send: bool = False,
+    ) -> Generator:
+        """One-way SYNC message: the destination is (or will be) waiting at
+        the matching rendezvous; no interrupt is raised.
+
+        ``min_packets`` forces a packet count floor (AURC fine-grain
+        updates).  ``free_send`` suppresses the host overhead — used for
+        traffic the *hardware* emits autonomously (AURC's automatic-update
+        snooper), which costs the host nothing.
+
+        Returns the deposit event (succeeds when the data lands in the
+        destination's memory).
+        """
+        msg = Message(
+            src_node=src_node,
+            dst_node=dst_node,
+            kind=MessageKind.SYNC,
+            size_bytes=size_bytes,
+            tag=tag,
+            payload=payload,
+            min_packets=min_packets,
+        )
+        if free_send:
+            wire = msg.wire_bytes(self.arch.packet_mtu, self.arch.packet_header_bytes)
+            cpu.stats.count("messages_sent")
+            cpu.stats.count("bytes_sent", wire)
+        else:
+            yield from self._charge_send(cpu, msg, in_handler)
+        return self._nic(src_node).send(msg)
+
+    def send_data(
+        self,
+        cpu: "Processor",
+        src_node: int,
+        dst_node: int,
+        size_bytes: int,
+        min_packets: int = 1,
+        tag: str = "data",
+    ) -> Generator:
+        """Hardware-emitted data deposit (AURC automatic update): no host
+        overhead, no interrupt, no receiver rendezvous.  Returns the
+        deposit event so releases can wait for updates to drain."""
+        msg = Message(
+            src_node=src_node,
+            dst_node=dst_node,
+            kind=MessageKind.DATA,
+            size_bytes=size_bytes,
+            tag=tag,
+            min_packets=min_packets,
+        )
+        wire = msg.wire_bytes(self.arch.packet_mtu, self.arch.packet_header_bytes)
+        cpu.stats.count("messages_sent")
+        cpu.stats.count("bytes_sent", wire)
+        return self._nic(src_node).send(msg)
+        yield  # pragma: no cover — marks this function as a generator
+
+    def receive_sync(self, node_id: int, tag: str) -> Event:
+        """Event-like handle for the next SYNC message with ``tag`` at
+        ``node_id`` (yield it to block until arrival)."""
+        return self._nic(node_id).sync_store(tag).get()

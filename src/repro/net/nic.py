@@ -1,0 +1,299 @@
+"""Programmable network interface (Myrinet-like).
+
+The NI model follows the paper's abstraction of the communication
+subsystem (Section 3):
+
+* an **asynchronous send** frees the host after the (swept) host
+  overhead; the NI core then *prepares packets*, paying the swept
+  **occupancy per packet** on the NI core — a single server shared by the
+  send and receive paths, since the programmable assist is one processor;
+* packet data is DMA'd from host memory across the **memory bus** and the
+  **I/O bus** (the latter is the swept bandwidth parameter);
+* packets transit the contention-free fabric and are processed by the
+  receiving NI (occupancy again), then **deposited directly into host
+  memory** across the receiver's I/O and memory buses **without an
+  interrupt**;
+* only ``REQUEST`` messages then raise an interrupt, via a hook the
+  cluster wires to the node's interrupt controller;
+* each NI has two 1 MB packet queues; if the outgoing queue fills, the NI
+  interrupts the main processor and delays the sender until the queue
+  drains (modelled as back-pressure plus an overflow-interrupt count).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.net.message import Message, MessageKind
+from repro.sim.primitives import Event
+from repro.sim.resources import FluidQueue, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.membus import MemoryBus
+    from repro.arch.params import ArchParams, CommParams
+    from repro.net.iobus import IOBus
+    from repro.net.link import Network
+    from repro.sim.engine import Simulator
+
+
+class NetworkInterface:
+    """One node's NI: send/receive pipelines and delivery hooks."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node_id: int,
+        arch: "ArchParams",
+        comm: "CommParams",
+        membus: "MemoryBus",
+        iobus: "IOBus",
+        network: "Network",
+        register: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.arch = arch
+        self.comm = comm
+        self.membus = membus
+        self.iobus = iobus
+        self.network = network
+        #: the NI's programmable core: one server, occupancy per packet
+        self.core = FluidQueue(sim, f"ni{node_id}.core")
+        #: serial receive dispatch: the single-threaded NI core stalls all
+        #: incoming processing while it signals a host interrupt, so
+        #: request-heavy nodes delay even the replies their own
+        #: processors are waiting for (the interrupt-cost knee)
+        self.rx_gate = FluidQueue(sim, f"ni{node_id}.rx_gate")
+        #: hook invoked for REQUEST arrivals (wired to the interrupt path)
+        self.on_request: Optional[Callable[[Message], None]] = None
+        #: hook invoked when the outgoing queue overflows
+        self.on_queue_overflow: Optional[Callable[[], None]] = None
+        self._sync_stores: Dict[str, Store] = {}
+        # statistics
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.wire_bytes_sent = 0
+        self.packets_sent = 0
+        self.overflow_interrupts = 0
+
+        if register:
+            network.attach(node_id, self._on_arrival)
+            network.register_endpoint(node_id, self)
+
+    # ------------------------------------------------------------------ #
+    # send path
+    # ------------------------------------------------------------------ #
+    def send(self, msg: Message) -> Event:
+        """Post ``msg`` for transmission (asynchronous).
+
+        Returns an event that succeeds when the message has been deposited
+        into the destination node's memory (used by tests and by
+        synchronous senders; most callers ignore it).
+        """
+        if msg.src_node != self.node_id:
+            raise ValueError(f"message source {msg.src_node} != NI node {self.node_id}")
+        if msg.on_deposit is None:
+            msg.on_deposit = Event(self.sim, name=f"msg{msg.msg_id}.deposited")
+        self.sim.spawn(self._send_pipeline(msg), name=f"ni{self.node_id}.tx")
+        return msg.on_deposit
+
+    def _send_pipeline(self, msg: Message):
+        """The full source-to-destination path, *cut-through pipelined*.
+
+        Packets stream through the stages (sender DMA, link, receiver
+        DMA) concurrently, so the end-to-end time is governed by the
+        *bottleneck* stage, not the sum of stages.  Every traversed
+        resource is still reserved for its full service time — contention
+        is preserved — but the message's latency is
+        ``max(stage sojourns) + link latency``.
+        """
+        a, c = self.arch, self.comm
+        packets = msg.packet_count(a.packet_mtu)
+        wire = msg.wire_bytes(a.packet_mtu, a.packet_header_bytes)
+
+        # Back-pressure: outgoing queue full -> interrupt main CPU, wait.
+        while self.iobus.backlog_bytes > a.ni_queue_bytes:
+            self.overflow_interrupts += 1
+            if self.on_queue_overflow is not None:
+                self.on_queue_overflow()
+            yield self.sim.timeout(max(1, self.iobus.queue.backlog // 2))
+
+        peer = self.network.endpoint(msg.dst_node).pick_rx()
+        msg.rx_nic = peer
+        stages = [
+            self.membus.transfer_latency(wire, "ni_out"),
+            self.iobus.dma_latency(wire),
+            int(wire / self.network.bytes_per_cycle),  # link serialization
+            peer.iobus.dma_latency(wire),
+            peer.membus.transfer_latency(wire, "ni_in"),
+        ]
+        if c.ni_occupancy:
+            stages.append(self.core.latency(packets * c.ni_occupancy))
+            stages.append(peer.core.latency(packets * c.ni_occupancy))
+        if a.model_cut_through:
+            yield self.sim.timeout(max(stages))
+        else:
+            # ablation: store-and-forward — pay every stage in sequence
+            yield self.sim.timeout(sum(stages))
+
+        self.messages_sent += 1
+        self.packets_sent += packets
+        self.wire_bytes_sent += wire
+        self.network.deliver(msg, wire)
+
+    # ------------------------------------------------------------------ #
+    # receive path (stage timing already accounted by the sender side)
+    # ------------------------------------------------------------------ #
+    def _on_arrival(self, msg: Message, wire_bytes: int) -> None:
+        # All arrivals pass the serial receive gate: a REQUEST holds it
+        # for the interrupt-issue time (the single-threaded NI core
+        # busy-signals the host), and everything behind it — including
+        # replies this node's own processors are blocked on — waits.
+        # The request's *own* issue latency is charged by the interrupt
+        # controller, so here it only delays followers.
+        delay = self.rx_gate.backlog if self.arch.model_rx_gate else 0
+        if (
+            self.arch.model_rx_gate
+            and msg.kind is MessageKind.REQUEST
+            and self.comm.interrupt_cost
+            and self.comm.protocol_processing == "interrupt"
+        ):
+            # The gate is held for issue + delivery: the single-threaded
+            # assist cannot free the receive slot until the host has
+            # taken the message.  Polling and NI-offload modes raise no
+            # interrupts, so the gate never blocks there.
+            self.rx_gate.latency(self.comm.null_interrupt_cycles)
+        if delay > 0:
+            self.sim.schedule(delay, self._dispatch_arrival, msg)
+        else:
+            self._dispatch_arrival(msg)
+
+    def _dispatch_arrival(self, msg: Message) -> None:
+        self.messages_received += 1
+        if msg.on_deposit is not None:
+            msg.on_deposit.succeed(msg)
+        if msg.kind is MessageKind.REQUEST:
+            if self.on_request is None:
+                raise RuntimeError(f"node {self.node_id}: REQUEST arrived with no handler hook")
+            self.on_request(msg)
+        elif msg.kind is MessageKind.REPLY:
+            msg.reply_to.succeed(msg.payload)
+        elif msg.kind is MessageKind.SYNC:
+            # a process is (or will be) waiting at the rendezvous
+            self.sync_store(msg.tag).put(msg.payload)
+        # MessageKind.DATA: nothing further — the deposit event above is all
+
+    # ------------------------------------------------------------------ #
+    # sync rendezvous
+    # ------------------------------------------------------------------ #
+    def sync_store(self, tag: str) -> Store:
+        """FIFO rendezvous for SYNC messages with the given tag."""
+        store = self._sync_stores.get(tag)
+        if store is None:
+            store = self._sync_stores[tag] = Store(self.sim, name=f"ni{self.node_id}.{tag}")
+        return store
+
+    def pick_rx(self) -> "NetworkInterface":
+        """Receive-side endpoint selection (trivial for a single NI)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetworkInterface(node={self.node_id})"
+
+
+class NICGroup:
+    """Several NIs on one node, each with its own I/O bus.
+
+    The paper's discussion proposes multiple network interfaces per node
+    to raise node-to-network bandwidth.  Sends round-robin across the
+    members; the sending side also round-robins the *receiver's* members
+    when reserving the pipelined path, so both directions scale.  SYNC
+    rendezvous stores are shared across members (a waiting receiver does
+    not care which physical NI the message landed on), and the protocol's
+    request/overflow hooks fan out to every member.
+    """
+
+    def __init__(self, nics) -> None:
+        if not nics:
+            raise ValueError("a NIC group needs at least one NI")
+        self.nics = list(nics)
+        first = self.nics[0]
+        self.sim = first.sim
+        self.node_id = first.node_id
+        self.network = first.network
+        self._tx = 0
+        self._rx = 0
+        # share one rendezvous table across members
+        shared = first._sync_stores
+        for nic in self.nics[1:]:
+            if nic.node_id != self.node_id:
+                raise ValueError("NIC group members must share a node")
+            nic._sync_stores = shared
+        self.network.attach(self.node_id, self._on_arrival)
+        self.network.register_endpoint(self.node_id, self)
+
+    # -- send/receive ------------------------------------------------------
+    def send(self, msg: Message) -> Event:
+        nic = self.nics[self._tx % len(self.nics)]
+        self._tx += 1
+        return nic.send(msg)
+
+    def pick_rx(self) -> NetworkInterface:
+        nic = self.nics[self._rx % len(self.nics)]
+        self._rx += 1
+        return nic
+
+    def _on_arrival(self, msg: Message, wire_bytes: int) -> None:
+        nic = msg.rx_nic if msg.rx_nic is not None else self.nics[0]
+        nic._on_arrival(msg, wire_bytes)
+
+    def sync_store(self, tag: str) -> Store:
+        return self.nics[0].sync_store(tag)
+
+    # -- protocol hooks fan out to every member ----------------------------
+    @property
+    def on_request(self):
+        return self.nics[0].on_request
+
+    @on_request.setter
+    def on_request(self, hook) -> None:
+        for nic in self.nics:
+            nic.on_request = hook
+
+    @property
+    def on_queue_overflow(self):
+        return self.nics[0].on_queue_overflow
+
+    @on_queue_overflow.setter
+    def on_queue_overflow(self, hook) -> None:
+        for nic in self.nics:
+            nic.on_queue_overflow = hook
+
+    # -- aggregated statistics ---------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        return sum(n.messages_sent for n in self.nics)
+
+    @property
+    def messages_received(self) -> int:
+        return sum(n.messages_received for n in self.nics)
+
+    @property
+    def packets_sent(self) -> int:
+        return sum(n.packets_sent for n in self.nics)
+
+    @property
+    def wire_bytes_sent(self) -> int:
+        return sum(n.wire_bytes_sent for n in self.nics)
+
+    @property
+    def overflow_interrupts(self) -> int:
+        return sum(n.overflow_interrupts for n in self.nics)
+
+    @property
+    def core(self):
+        """Primary member's core (single-NI compatibility accessor)."""
+        return self.nics[0].core
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NICGroup(node={self.node_id}, nis={len(self.nics)})"

@@ -1,0 +1,10 @@
+"""Operating-system substrate: interrupts and virtual memory.
+
+The package is named ``osys`` (not ``os``) to avoid shadowing the standard
+library inside the ``repro`` namespace.
+"""
+
+from repro.osys.interrupts import InterruptController
+from repro.osys.vm import PageDirectory, pages_in_range
+
+__all__ = ["InterruptController", "PageDirectory", "pages_in_range"]

@@ -1,0 +1,93 @@
+"""Automatic Update Release Consistency (AURC).
+
+AURC replaces HLRC's software diffs with *hardware write propagation*: a
+snooping device on the memory bus forwards writes to shared, remotely
+homed pages directly to the home node through the NI (SHRIMP-style
+automatic update).  Consequences, all modelled here:
+
+* **no twins, no diffs** — first writes are cheap, releases do no word
+  comparison;
+* **update traffic flows during computation** — every write run becomes
+  wire traffic immediately (``send_data``: no host overhead, no interrupt
+  at the home, deposited straight into the home's memory);
+* **fine-grain packets** — updates that are apart in space or time do
+  not coalesce, so a write event of ``runs`` disjoint runs emits at
+  least ``runs`` packets.  This is why AURC is much more sensitive to NI
+  occupancy than HLRC (paper Figure 11);
+* **releases wait for outstanding updates to drain** (the home must be
+  up to date before the lock can pass), then advance the clock and log
+  write notices exactly as in HLRC;
+* fetches, locks, barriers, and invalidations are inherited unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.protocol.diffs import page_words
+from repro.protocol.hlrc import HLRCProtocol
+from repro.sim.primitives import AllOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.processor import Processor
+
+
+class AURCProtocol(HLRCProtocol):
+    """HLRC with hardware automatic-update write propagation."""
+
+    name = "aurc"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: per-processor outstanding update deposit events
+        self._outstanding: List[List[Event]] = [[] for _ in range(self.ctx.n_procs)]
+
+    # ------------------------------------------------------------------ #
+    def write(self, cpu: "Processor", page: int, words: int = 1, runs: int = 1):
+        ctx = self.ctx
+        yield from self.read(cpu, page)  # write fault still fetches
+        node_id = ctx.node_id_of_cpu(cpu)
+        home = ctx.directory.home(page, node_id)
+        words = min(words, page_words(ctx.arch, ctx.comm.page_size))
+        d = self.dirty[cpu.global_id]
+        d[page] = min(page_words(ctx.arch, ctx.comm.page_size), d.get(page, 0) + words)
+        if home == node_id:
+            return
+        # hardware forwards the written words to the home as it happens
+        self.counters.bump("updates_sent")
+        self.counters.bump("update_words", words)
+        cpu.stats.count("updates_sent")
+        deposit = yield from ctx.msg.send_data(
+            cpu,
+            node_id,
+            home,
+            size_bytes=words * ctx.arch.word_bytes,
+            min_packets=max(1, runs),
+            tag="aurc_update",
+        )
+        pending = self._outstanding[cpu.global_id]
+        pending.append(deposit)
+        # bound bookkeeping: drop already-delivered updates
+        if len(pending) > 64:
+            self._outstanding[cpu.global_id] = [e for e in pending if not e.triggered]
+
+    # ------------------------------------------------------------------ #
+    def flush(self, cpu: "Processor", category: str = "lock_wait"):
+        """AURC release: wait for update traffic to drain; no diffs."""
+        ctx = self.ctx
+        proc = cpu.global_id
+        pending = [e for e in self._outstanding[proc] if not e.triggered]
+        self._outstanding[proc] = []
+        if pending:
+            yield from cpu.wait_for(AllOf(ctx.sim, pending), category)
+        d = self.dirty[proc]
+        if not d:
+            return
+        pages = tuple(d)
+        self.vc[proc].increment(proc)
+        self.log.append(proc, pages)
+        self.counters.bump("write_notices", len(pages))
+        mem = self.mem[ctx.node_id_of(proc)]
+        for page in pages:
+            mem.twins.discard(page)
+        d.clear()

@@ -1,0 +1,141 @@
+"""Hierarchical barriers for SMP-node clusters.
+
+The paper's protocol implements barriers "with synchronous messages and
+no interrupts", hierarchically:
+
+1. **Intra-node leg** — arrivals synchronize through node shared memory
+   (``smp_sync_cycles`` each).  The *last* processor to arrive becomes
+   the node's representative.
+2. **Inter-node leg** — each representative sends a SYNC arrival message
+   to the barrier master (node 0).  The master's representative is
+   already *waiting* for these messages, so no interrupts are raised.
+3. **Release** — the master merges the consistency information (vector
+   clocks; write notices piggyback on the release messages) and sends a
+   SYNC release to every other representative, which releases its node's
+   processors through shared memory.
+
+Barrier episodes are identified per (barrier id, per-processor visit
+count), so back-to-back barriers on the same id cannot alias.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.protocol.base import GRANT_BASE_BYTES, ProtocolContext, ProtocolCounters
+from repro.sim.primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.processor import Processor
+
+
+class _Episode:
+    """State of one global barrier episode."""
+
+    __slots__ = ("arrived", "release_events", "merged_vc")
+
+    def __init__(self, ctx: ProtocolContext) -> None:
+        #: per-node arrival counts
+        self.arrived: Dict[int, int] = {}
+        #: per-node local release events
+        self.release_events: Dict[int, Event] = {}
+        self.merged_vc: Optional[Tuple[int, ...]] = None
+
+    def node_release(self, ctx: ProtocolContext, node_id: int) -> Event:
+        ev = self.release_events.get(node_id)
+        if ev is None:
+            ev = self.release_events[node_id] = Event(ctx.sim, name=f"bar.node{node_id}")
+        return ev
+
+
+class BarrierManager:
+    """Cluster-wide hierarchical barrier service."""
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        counters: ProtocolCounters,
+        merge_fn: Optional[Callable[[], Tuple[int, ...]]] = None,
+        notice_bytes_fn: Optional[Callable[[], int]] = None,
+        master_node: int = 0,
+    ) -> None:
+        self.ctx = ctx
+        self.counters = counters
+        #: produces the merged vector-clock snapshot at barrier completion
+        self.merge_fn = merge_fn or (lambda: ())
+        #: sizes the piggybacked write notices on release messages
+        self.notice_bytes_fn = notice_bytes_fn or (lambda: 0)
+        self.master_node = master_node
+        self._episodes: Dict[Tuple[int, int], _Episode] = {}
+        self._visits: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    def _episode_for(self, cpu: "Processor", barrier_id: int) -> Tuple[_Episode, int]:
+        key = (cpu.global_id, barrier_id)
+        visit = self._visits.get(key, 0)
+        self._visits[key] = visit + 1
+        ep_key = (barrier_id, visit)
+        ep = self._episodes.get(ep_key)
+        if ep is None:
+            ep = self._episodes[ep_key] = _Episode(self.ctx)
+        return ep, visit
+
+    def participants_at(self, node_id: int) -> int:
+        """Processors of ``node_id`` participating (all of them)."""
+        return self.ctx.comm.procs_per_node
+
+    # ------------------------------------------------------------------ #
+    def barrier(self, cpu: "Processor", barrier_id: int):
+        """Run one barrier arrival for ``cpu``.
+
+        Returns the merged vector-clock snapshot so the engine can apply
+        post-barrier invalidations.  The engine flushes (release
+        semantics) *before* calling this.
+        """
+        ctx = self.ctx
+        node_id = ctx.node_id_of_cpu(cpu)
+        ep, visit = self._episode_for(cpu, barrier_id)
+        self.counters.bump("barriers")
+        cpu.stats.count("barriers")
+
+        # intra-node leg
+        yield from cpu.busy(ctx.arch.smp_sync_cycles, "protocol")
+        ep.arrived[node_id] = ep.arrived.get(node_id, 0) + 1
+        if ep.arrived[node_id] < self.participants_at(node_id):
+            yield from cpu.wait_for(ep.node_release(ctx, node_id), "barrier_wait")
+            return ep.merged_vc
+
+        # this processor is the node's representative
+        if ctx.n_nodes == 1:
+            ep.merged_vc = self.merge_fn()
+            ep.node_release(ctx, node_id).succeed()
+            return ep.merged_vc
+
+        arrive_tag = f"bar.{barrier_id}.{visit}.arrive"
+        release_tag = f"bar.{barrier_id}.{visit}.release"
+
+        if node_id == self.master_node:
+            for _ in range(ctx.n_nodes - 1):
+                yield from cpu.wait_for(
+                    ctx.msg.receive_sync(node_id, arrive_tag), "barrier_wait"
+                )
+            ep.merged_vc = self.merge_fn()
+            size = GRANT_BASE_BYTES + self.notice_bytes_fn()
+            for other in range(ctx.n_nodes):
+                if other == node_id:
+                    continue
+                yield from ctx.msg.send_sync(
+                    cpu, node_id, other, release_tag, size, payload=ep.merged_vc
+                )
+            ep.node_release(ctx, node_id).succeed()
+            return ep.merged_vc
+
+        yield from ctx.msg.send_sync(
+            cpu, node_id, self.master_node, arrive_tag, GRANT_BASE_BYTES
+        )
+        merged = yield from cpu.wait_for(
+            ctx.msg.receive_sync(node_id, release_tag), "barrier_wait"
+        )
+        ep.merged_vc = merged
+        ep.node_release(ctx, node_id).succeed()
+        return merged

@@ -1,0 +1,319 @@
+"""Home-based Lazy Release Consistency (HLRC) — the paper's base protocol.
+
+Each shared page has a *home* node holding the master copy.  The protocol
+actions, and where their costs land:
+
+=================  ====================================================
+event              what happens
+=================  ====================================================
+read/write fault   trap + TLB (``protocol`` time on the faulting CPU);
+                   one page fetch **per node** (SMP fetch coalescing):
+                   RPC to the home — *interrupt* there, handler sends
+                   the page back, requester blocks in ``data_wait``
+first write        twin creation (page copy) on the writing CPU, unless
+                   the page is home-local (no twin needed — the paper's
+                   single-writer observation)
+release            for every dirty non-home page: compute diff (word
+                   compare + include costs), ship diffs to each home in
+                   one batched RPC per home (interrupt + apply + ack);
+                   then advance the vector clock and log write notices
+acquire            token-based lock acquire (local or remote, see
+                   :mod:`repro.protocol.locks`); the grant carries the
+                   last releaser's clock — invalidate all pages with
+                   unseen write notices (never pages homed locally)
+barrier            flush (release semantics), hierarchical barrier,
+                   then invalidate against the merged clock
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.protocol.barriers import BarrierManager
+from repro.protocol.base import (
+    ACK_BYTES,
+    GRANT_BASE_BYTES,
+    REQUEST_HEADER_BYTES,
+    TAG_DIFF_APPLY,
+    TAG_LOCK_ACQUIRE,
+    TAG_LOCK_RECALL,
+    TAG_PAGE_FETCH,
+    TAG_TOKEN_RETURN,
+    NodeMemoryState,
+    ProtocolContext,
+    ProtocolCounters,
+)
+from repro.protocol.diffs import (
+    diff_apply_cost,
+    diff_create_cost,
+    diff_wire_bytes,
+    page_words,
+    twin_cost,
+)
+from repro.protocol.locks import LockManager
+from repro.protocol.timestamps import IntervalLog, VectorClock, notices_wire_bytes
+from repro.sim.primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.processor import Processor
+    from repro.net.message import Message
+
+
+class HLRCProtocol:
+    """The all-software home-based LRC engine."""
+
+    name = "hlrc"
+
+    def __init__(self, ctx: ProtocolContext, counters: Optional[ProtocolCounters] = None):
+        self.ctx = ctx
+        self.counters = counters if counters is not None else ProtocolCounters()
+        n = ctx.n_procs
+        self.mem: Dict[int, NodeMemoryState] = {
+            node.node_id: NodeMemoryState() for node in ctx.nodes
+        }
+        self.vc: List[VectorClock] = [VectorClock(n) for _ in range(n)]
+        self.log = IntervalLog(n)
+        #: per-processor dirty map: page -> words written this interval
+        self.dirty: List[Dict[int, int]] = [dict() for _ in range(n)]
+        self.locks = LockManager(ctx, self.counters, grant_size_fn=self._grant_bytes)
+        self.barriers = BarrierManager(
+            ctx,
+            self.counters,
+            merge_fn=self._merged_snapshot,
+            notice_bytes_fn=self._barrier_notice_bytes,
+        )
+        self.install()
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def install(self) -> None:
+        """Wire every node's NI request hook to this engine's dispatch."""
+        for node in self.ctx.nodes:
+            node.nic.on_request = self._make_on_request(node)
+            node.nic.on_queue_overflow = node.irq.null_interrupt
+
+    def _make_on_request(self, node):
+        dispatch = getattr(node, "dispatch_request", None)
+        if dispatch is None:
+            # bare test nodes: fall back to plain interrupt delivery
+            def on_request(msg: "Message") -> None:
+                node.irq.raise_interrupt(
+                    lambda cpu: self._dispatch(cpu, msg), name=f"irq.{msg.tag}"
+                )
+
+        else:
+
+            def on_request(msg: "Message") -> None:
+                dispatch(lambda cpu: self._dispatch(cpu, msg), name=f"req.{msg.tag}")
+
+        return on_request
+
+    def _dispatch(self, cpu: "Processor", msg: "Message"):
+        tag = msg.tag
+        if tag == TAG_PAGE_FETCH:
+            yield from self._h_page_fetch(cpu, msg)
+        elif tag == TAG_DIFF_APPLY:
+            yield from self._h_diff_apply(cpu, msg)
+        elif tag == TAG_LOCK_ACQUIRE:
+            yield from self.locks.handle_acquire(cpu, msg)
+        elif tag == TAG_LOCK_RECALL:
+            yield from self.locks.handle_recall(cpu, msg)
+        elif tag == TAG_TOKEN_RETURN:
+            yield from self.locks.handle_token_return(cpu, msg)
+        else:
+            raise RuntimeError(f"unknown request tag {tag!r}")
+
+    # ------------------------------------------------------------------ #
+    # trace operations (run in the application process)
+    # ------------------------------------------------------------------ #
+    def first_touch(self, cpu: "Processor", page: int):
+        """Initialization-time touch establishing first-touch placement."""
+        self.ctx.directory.home(page, self.ctx.node_id_of_cpu(cpu))
+        return
+        yield  # pragma: no cover — generator marker for API uniformity
+
+    def read(self, cpu: "Processor", page: int):
+        """Shared read at page granularity; faults and fetches as needed."""
+        ctx = self.ctx
+        node_id = ctx.node_id_of_cpu(cpu)
+        home = ctx.directory.home(page, node_id)
+        if home == node_id:
+            return  # the home copy is always valid at the home
+        mem = self.mem[node_id]
+        if page in mem.valid:
+            return
+        if ctx.free_page_fetches:
+            # Section 7 attribution mode: faults appear local and free.
+            mem.valid.add(page)
+            return
+        # --- page fault ---
+        self.counters.bump("page_faults")
+        cpu.stats.count("page_faults")
+        yield from cpu.busy(
+            ctx.arch.tlb_kernel_cycles + ctx.arch.handler_base_cycles, "protocol"
+        )
+        inflight = mem.fetches.get(page)
+        if inflight is not None:
+            # another processor of this node already fetches it
+            yield from cpu.wait_for(inflight, "data_wait")
+            return
+        ev = Event(ctx.sim, name=f"fetch.p{page}")
+        mem.fetches[page] = ev
+        self.counters.bump("page_fetches")
+        cpu.stats.count("page_fetches")
+        yield from ctx.msg.rpc(
+            cpu,
+            node_id,
+            home,
+            TAG_PAGE_FETCH,
+            REQUEST_HEADER_BYTES,
+            payload=page,
+            wait_category="data_wait",
+        )
+        mem.valid.add(page)
+        del mem.fetches[page]
+        ev.succeed()
+
+    def write(self, cpu: "Processor", page: int, words: int = 1, runs: int = 1):
+        """Shared write: fetch if needed, twin on first write, track dirt."""
+        ctx = self.ctx
+        yield from self.read(cpu, page)  # write faults fetch too
+        node_id = ctx.node_id_of_cpu(cpu)
+        home = ctx.directory.home(page, node_id)
+        words = min(words, page_words(ctx.arch, ctx.comm.page_size))
+        if home != node_id:
+            mem = self.mem[node_id]
+            if page not in mem.twins:
+                mem.twins.add(page)
+                yield from cpu.busy(twin_cost(ctx.arch, ctx.comm.page_size), "protocol")
+        d = self.dirty[cpu.global_id]
+        d[page] = min(
+            page_words(ctx.arch, ctx.comm.page_size), d.get(page, 0) + words
+        )
+
+    def acquire(self, cpu: "Processor", lock_id: int):
+        snap = yield from self.locks.acquire(cpu, lock_id)
+        yield from self._apply_incoming(cpu, snap)
+
+    def release(self, cpu: "Processor", lock_id: int):
+        yield from self.flush(cpu, category="lock_wait")
+        yield from self.locks.release(cpu, lock_id, self.vc[cpu.global_id].snapshot())
+
+    def barrier(self, cpu: "Processor", barrier_id: int):
+        yield from self.flush(cpu, category="barrier_wait")
+        merged = yield from self.barriers.barrier(cpu, barrier_id)
+        yield from self._apply_incoming(cpu, merged)
+
+    # ------------------------------------------------------------------ #
+    # release-side machinery
+    # ------------------------------------------------------------------ #
+    def flush(self, cpu: "Processor", category: str = "lock_wait"):
+        """Propagate this processor's writes to the homes (diffs) and open
+        a new interval with write notices."""
+        ctx = self.ctx
+        proc = cpu.global_id
+        d = self.dirty[proc]
+        if not d:
+            return
+        node_id = ctx.node_id_of(proc)
+        pages = tuple(d)
+        by_home: Dict[int, List[Tuple[int, int]]] = {}
+        for page, words in d.items():
+            home = ctx.directory.home(page, node_id)
+            if home != node_id:
+                by_home.setdefault(home, []).append((page, words))
+        for home, entries in sorted(by_home.items()):
+            create = sum(
+                diff_create_cost(ctx.arch, ctx.comm.page_size, w) for _, w in entries
+            )
+            yield from cpu.busy(create, "protocol")
+            total_words = sum(w for _, w in entries)
+            self.counters.bump("diffs_created", len(entries))
+            self.counters.bump("diff_words", total_words)
+            cpu.stats.count("diffs_created", len(entries))
+            size = sum(diff_wire_bytes(ctx.arch, w) for _, w in entries)
+            yield from ctx.msg.rpc(
+                cpu,
+                node_id,
+                home,
+                TAG_DIFF_APPLY,
+                size,
+                payload=[(p, w) for p, w in entries],
+                wait_category=category,
+            )
+        # open a new interval carrying this flush's write notices
+        self.vc[proc].increment(proc)
+        self.log.append(proc, pages)
+        self.counters.bump("write_notices", len(pages))
+        mem = self.mem[node_id]
+        for page in pages:
+            mem.twins.discard(page)
+        d.clear()
+
+    def _apply_incoming(self, cpu: "Processor", snapshot: Optional[Tuple[int, ...]]):
+        """Merge an incoming clock and invalidate unseen-notice pages."""
+        if not snapshot:
+            return
+        ctx = self.ctx
+        proc = cpu.global_id
+        incoming = VectorClock.from_snapshot(snapshot)
+        mine = self.vc[proc]
+        if mine.dominates(incoming):
+            return
+        pages = self.log.notices_between(mine, incoming)
+        mine.merge(incoming)
+        if not pages:
+            return
+        node_id = ctx.node_id_of(proc)
+        to_invalidate = [
+            p for p in pages if ctx.directory.peek_home(p) != node_id
+        ]
+        if to_invalidate:
+            self.mem[node_id].invalidate(to_invalidate)
+            yield from cpu.busy(
+                len(to_invalidate) * ctx.arch.page_invalidate_cycles, "protocol"
+            )
+
+    # ------------------------------------------------------------------ #
+    # interrupt handlers (home side)
+    # ------------------------------------------------------------------ #
+    def _h_page_fetch(self, cpu: "Processor", msg: "Message"):
+        ctx = self.ctx
+        yield ctx.sim.timeout(ctx.arch.handler_base_cycles + ctx.arch.tlb_kernel_cycles)
+        node_id = ctx.node_id_of_cpu(cpu)
+        self.mem[node_id].faults_served += 1
+        yield from ctx.msg.send_reply(cpu, msg, ctx.comm.page_size)
+
+    def _h_diff_apply(self, cpu: "Processor", msg: "Message"):
+        ctx = self.ctx
+        entries = msg.payload
+        apply_cost = sum(diff_apply_cost(ctx.arch, w) for _, w in entries)
+        yield ctx.sim.timeout(ctx.arch.handler_base_cycles + apply_cost)
+        yield from ctx.msg.send_reply(cpu, msg, ACK_BYTES)
+
+    # ------------------------------------------------------------------ #
+    # consistency-payload sizing helpers
+    # ------------------------------------------------------------------ #
+    def _grant_bytes(self, req_proc: int, snapshot: Optional[Tuple[int, ...]]) -> int:
+        if not snapshot:
+            return GRANT_BASE_BYTES
+        incoming = VectorClock.from_snapshot(snapshot)
+        count = self.log.notice_count_between(self.vc[req_proc], incoming)
+        return GRANT_BASE_BYTES + notices_wire_bytes(count)
+
+    def _merged_snapshot(self) -> Tuple[int, ...]:
+        merged = VectorClock(self.ctx.n_procs)
+        for clock in self.vc:
+            merged.merge(clock)
+        return merged.snapshot()
+
+    def _barrier_notice_bytes(self) -> int:
+        merged = VectorClock.from_snapshot(self._merged_snapshot())
+        counts = [
+            self.log.notice_count_between(self.vc[p], merged)
+            for p in range(self.ctx.n_procs)
+        ]
+        avg = sum(counts) // max(1, len(counts))
+        return notices_wire_bytes(avg)

@@ -1,0 +1,168 @@
+"""The event-heap scheduler at the heart of the simulator.
+
+The engine is intentionally tiny: a binary heap of ``(time, seq, callback,
+args)`` entries.  Everything else — processes, events, resources — is built
+on top of :meth:`Simulator.schedule`.
+
+Times are integer processor cycles.  Floating-point times are accepted but
+rounded up, because every architectural cost in the reproduction is
+expressed in whole cycles; rounding up keeps costs conservative and, more
+importantly, keeps the heap deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.tracing import NullTracer, Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (negative delays, running backwards)."""
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.sim.tracing.Tracer` receiving a record per
+        dispatched event.  Defaults to a no-op tracer.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time in cycles.  Monotonically non-decreasing.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_dispatched", "tracer", "_running")
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable[..., None], tuple]] = []
+        self._seq: int = 0
+        self._dispatched: int = 0
+        self._running = False
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self.schedule_at(self.now + int(math.ceil(delay)), fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``when``."""
+        when_i = int(math.ceil(when))
+        if when_i < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when_i} < now {self.now} (time runs forward)"
+            )
+        heapq.heappush(self._heap, (when_i, self._seq, fn, args))
+        self._seq += 1
+
+    def schedule_now(self, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current time (after pending events)."""
+        self.schedule_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Dispatch events until the heap drains.
+
+        Parameters
+        ----------
+        until:
+            Stop *before* dispatching any event later than this time; the
+            clock is advanced to ``until`` if the simulation outlives it.
+        max_events:
+            Safety valve: raise :class:`SimulationError` after this many
+            dispatches (catches accidental livelock in protocol code).
+
+        Returns
+        -------
+        int
+            The number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        dispatched_before = self._dispatched
+        trace = self.tracer
+        try:
+            while self._heap:
+                when, seq, fn, args = self._heap[0]
+                if until is not None and when > until:
+                    self.now = int(until)
+                    break
+                heapq.heappop(self._heap)
+                self.now = when
+                self._dispatched += 1
+                if max_events is not None and self._dispatched - dispatched_before > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                if trace.enabled:
+                    trace.record(when, "dispatch", getattr(fn, "__qualname__", repr(fn)))
+                fn(*args)
+            else:
+                if until is not None and until > self.now:
+                    self.now = int(until)
+        finally:
+            self._running = False
+        return self._dispatched - dispatched_before
+
+    def step(self) -> bool:
+        """Dispatch a single event.  Returns ``False`` if the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._heap)
+        self.now = when
+        self._dispatched += 1
+        fn(*args)
+        return True
+
+    def peek(self) -> Optional[int]:
+        """Time of the next pending event, or ``None`` if none is queued."""
+        return self._heap[0][0] if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of events currently queued."""
+        return len(self._heap)
+
+    @property
+    def dispatched(self) -> int:
+        """Total number of events dispatched over the simulator's lifetime."""
+        return self._dispatched
+
+    # ------------------------------------------------------------------ #
+    # conveniences re-exported from primitives / process
+    # ------------------------------------------------------------------ #
+    def timeout(self, delay: float) -> "Timeout":
+        """A waitable that resumes the yielding process after ``delay``."""
+        from repro.sim.primitives import Timeout
+
+        return Timeout(self, delay)
+
+    def event(self) -> "Event":
+        """A fresh one-shot :class:`~repro.sim.primitives.Event`."""
+        from repro.sim.primitives import Event
+
+        return Event(self)
+
+    def spawn(self, gen: Iterator, name: str = "") -> "Process":
+        """Launch ``gen`` as a simulation process at the current time."""
+        from repro.sim.process import Process
+
+        return Process(self, gen, name=name)
+
+
+# typing-only imports for annotations above
+from repro.sim.primitives import Event, Timeout  # noqa: E402
+from repro.sim.process import Process  # noqa: E402

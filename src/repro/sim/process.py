@@ -1,0 +1,111 @@
+"""Generator-coroutine processes.
+
+A *process* wraps a Python generator.  Each ``yield`` hands the scheduler a
+:class:`~repro.sim.primitives.Waitable`; when the waitable fires, the
+generator is resumed with the waitable's value.  ``return value`` inside
+the generator completes the process and triggers its :attr:`Process.done`
+event with that value, so processes compose: one process can ``yield``
+another to join it and collect its result.
+
+Exceptions raised inside a process propagate out of :meth:`Simulator.run`
+wrapped in :class:`ProcessCrash` — silent death of a protocol handler would
+otherwise deadlock the simulated cluster in ways that are miserable to
+debug.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.sim.primitives import Event, Waitable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class ProcessCrash(RuntimeError):
+    """An unhandled exception escaped a simulation process."""
+
+    def __init__(self, process: "Process", exc: BaseException) -> None:
+        super().__init__(f"process {process.name!r} crashed: {exc!r}")
+        self.process = process
+        self.exc = exc
+
+
+class Process(Waitable):
+    """A running simulation activity.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    gen:
+        The generator implementing the activity's behaviour.
+    name:
+        Optional label used in traces and crash reports.
+    """
+
+    __slots__ = ("sim", "gen", "name", "done", "_current")
+
+    def __init__(self, sim: "Simulator", gen: Iterator, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        #: triggered with the generator's return value on completion
+        self.done: Event = Event(sim, name=f"{self.name}.done")
+        self._current: Optional[Waitable] = None
+        # First step runs at the current time, after already-queued events.
+        sim.schedule_now(self._resume, None)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def _resume(self, value: Any) -> None:
+        self._step(value=value)
+
+    def _resume_exc(self, exc: BaseException) -> None:
+        self._step(exc=exc)
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self._current = None
+            self.done.succeed(stop.value)
+            return
+        except ProcessCrash:
+            raise
+        except BaseException as err:
+            raise ProcessCrash(self, err) from err
+
+        if not isinstance(target, Waitable):
+            raise ProcessCrash(
+                self, TypeError(f"process yielded non-waitable {target!r}")
+            )
+        self._current = target
+        target._wait(self)
+
+    # Processes are themselves waitable: ``yield other_process`` joins it.
+    def _wait(self, process: "Process") -> None:
+        self.done._wait(process)
+
+    def interrupt_with(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at the current time.
+
+        Used sparingly (e.g. queue-overflow back-pressure).  The process
+        must currently be suspended on a waitable; any value that waitable
+        later delivers is ignored because generators can only be resumed
+        once per suspension point.
+        """
+        if self.finished:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        self.sim.schedule_now(self._resume_exc, exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"

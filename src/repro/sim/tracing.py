@@ -1,0 +1,74 @@
+"""Lightweight simulation tracing.
+
+Tracing is off by default (a :class:`NullTracer` with ``enabled = False``)
+so the hot dispatch loop pays a single attribute check.  Turn it on for
+debugging protocol interleavings:
+
+>>> from repro.sim import Simulator, Tracer
+>>> tracer = Tracer(limit=1000)
+>>> sim = Simulator(tracer=tracer)
+
+Records are ``(time, kind, detail)`` tuples; higher layers (protocols,
+NICs) may append their own kinds via :meth:`Tracer.record`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: when it happened, what kind, and free-form detail."""
+
+    time: int
+    kind: str
+    detail: Any
+
+    def __str__(self) -> str:
+        return f"[{self.time:>12}] {self.kind:<18} {self.detail}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries up to an optional limit."""
+
+    __slots__ = ("enabled", "records", "limit", "kinds")
+
+    def __init__(self, limit: Optional[int] = None, kinds: Optional[set] = None) -> None:
+        self.enabled = True
+        self.records: List[TraceRecord] = []
+        self.limit = limit
+        #: if non-None, only these kinds are recorded
+        self.kinds = kinds
+
+    def record(self, time: int, kind: str, detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.enabled = False
+            return
+        self.records.append(TraceRecord(time, kind, detail))
+
+    def dump(self) -> str:
+        """Human-readable rendering of the collected records."""
+        return "\n".join(str(r) for r in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.enabled = True
+
+
+class NullTracer(Tracer):
+    """A tracer that never records anything (the default)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(limit=0)
+        self.enabled = False
+
+    def record(self, time: int, kind: str, detail: Any) -> None:  # pragma: no cover
+        return

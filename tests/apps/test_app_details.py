@@ -1,0 +1,213 @@
+"""Per-application structural tests: the layout and sharing math each
+generator encodes (partitioning, page arithmetic, phase structure)."""
+
+import pytest
+
+from repro.apps import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ,
+    TOUCH,
+    WRITE,
+    GenParams,
+    get_app,
+    make_generator,
+)
+
+P = 8
+PARAMS = dict(n_procs=P, scale=0.25, seed=11)
+
+
+def events_of(trace, proc, kind):
+    return [ev for ev in trace.events[proc] if ev[0] == kind]
+
+
+def pages_touched(trace, proc):
+    return {ev[1] for ev in trace.events[proc] if ev[0] == TOUCH}
+
+
+# --------------------------------------------------------------------- #
+# FFT
+# --------------------------------------------------------------------- #
+def test_fft_touch_partitions_disjoint():
+    trace = get_app("fft", **PARAMS)
+    sets = [pages_touched(trace, p) for p in range(P)]
+    for i in range(P):
+        for j in range(i + 1, P):
+            assert not (sets[i] & sets[j]), (i, j)
+
+
+def test_fft_reads_only_remote_partitions():
+    """A processor's transpose reads never touch its own first-touched
+    pages (it reads the other processors' sub-blocks)."""
+    trace = get_app("fft", **PARAMS)
+    for p in range(P):
+        own = pages_touched(trace, p)
+        reads = {ev[1] for ev in events_of(trace, p, READ)}
+        assert not (reads & own), p
+
+
+def test_fft_has_five_phases_of_barriers():
+    trace = get_app("fft", **PARAMS)
+    bars = [ev[1] for ev in trace.events[0] if ev[0] == BARRIER]
+    # init barrier + 3 transposes + 2 FFT phases
+    assert bars == [0, 1, 2, 3, 4, 5]
+
+
+# --------------------------------------------------------------------- #
+# LU
+# --------------------------------------------------------------------- #
+def test_lu_barrier_count_matches_steps():
+    trace = get_app("lu", **PARAMS)
+    bars = [ev for ev in trace.events[0] if ev[0] == BARRIER]
+    # init barrier + 2 per factorization step
+    assert (len(bars) - 1) % 2 == 0
+    assert len(bars) > 5
+
+
+def test_lu_work_shrinks_over_steps():
+    """Later factorization steps carry less compute (the imbalance that
+    caps LU's ideal speedup)."""
+    trace = get_app("lu", n_procs=P, scale=0.5, seed=11)
+    compute_per_phase = []
+    current = 0
+    for ev in trace.events[0]:
+        if ev[0] == COMPUTE:
+            current += ev[1]
+        elif ev[0] == BARRIER and ev[1] >= 1 and ev[1] % 2 == 0:
+            compute_per_phase.append(current)
+            current = 0
+    assert compute_per_phase[0] > compute_per_phase[-1]
+
+
+def test_lu_writes_stay_in_own_partition():
+    trace = get_app("lu", **PARAMS)
+    for p in range(P):
+        own = pages_touched(trace, p)
+        writes = {ev[1] for ev in events_of(trace, p, WRITE)}
+        assert writes <= own, p
+
+
+# --------------------------------------------------------------------- #
+# Ocean
+# --------------------------------------------------------------------- #
+def test_ocean_reads_only_neighbour_boundaries():
+    trace = get_app("ocean", **PARAMS)
+    own = [pages_touched(trace, p) for p in range(P)]
+    for p in range(P):
+        reads = {ev[1] for ev in events_of(trace, p, READ)}
+        neighbour_pages = set()
+        if p > 0:
+            neighbour_pages |= own[p - 1]
+        if p < P - 1:
+            neighbour_pages |= own[p + 1]
+        assert reads <= neighbour_pages, p
+
+
+def test_ocean_edge_processors_read_less():
+    trace = get_app("ocean", **PARAMS)
+    inner_reads = len(events_of(trace, P // 2, READ))
+    edge_reads = len(events_of(trace, 0, READ))
+    assert edge_reads < inner_reads
+
+
+# --------------------------------------------------------------------- #
+# Water
+# --------------------------------------------------------------------- #
+def test_water_nsq_reads_half_the_molecules():
+    trace = get_app("water-nsq", n_procs=P, scale=1.0, seed=11)
+    total_pages = len(set().union(*(pages_touched(trace, p) for p in range(P))))
+    reads = {ev[1] for ev in events_of(trace, 0, READ)}
+    assert total_pages * 0.3 < len(reads) < total_pages * 0.7
+
+
+def test_water_sp_reads_much_less_than_nsq():
+    nsq = get_app("water-nsq", n_procs=P, scale=1.0, seed=11)
+    sp = get_app("water-sp", n_procs=P, scale=1.0, seed=11)
+    nsq_reads = len(events_of(nsq, 0, READ))
+    sp_reads = len(events_of(sp, 0, READ))
+    assert sp_reads < nsq_reads / 3
+
+
+# --------------------------------------------------------------------- #
+# Radix
+# --------------------------------------------------------------------- #
+def test_radix_writes_cover_remote_partitions():
+    trace = get_app("radix", **PARAMS)
+    own = pages_touched(trace, 0)
+    writes = {ev[1] for ev in events_of(trace, 0, WRITE)}
+    assert writes - own, "radix must write remotely allocated data"
+
+
+def test_radix_page_size_does_not_change_write_bytes_much():
+    """Dense scatter: the written word volume is page-size independent;
+    only the fault count changes."""
+
+    def write_words(page_size):
+        trace = get_app("radix", n_procs=P, page_size=page_size, scale=0.25, seed=11)
+        return sum(ev[2] for ev in trace.events[0] if ev[0] == WRITE)
+
+    small, big = write_words(1024), write_words(16384)
+    assert small == pytest.approx(big, rel=0.35)
+
+
+# --------------------------------------------------------------------- #
+# Raytrace / Volrend
+# --------------------------------------------------------------------- #
+def test_raytrace_steals_lock_other_queues():
+    trace = get_app("raytrace", **PARAMS)
+    own_lock = 100 + 3
+    locks = {ev[1] for ev in events_of(trace, 3, ACQUIRE)}
+    assert own_lock in locks
+    assert len(locks) > 1  # stealing touches other queues
+
+
+def test_volrend_fewer_steals_than_raytrace():
+    ray = get_app("raytrace", **PARAMS)
+    vol = get_app("volrend", **PARAMS)
+
+    def foreign_lock_ops(trace, base):
+        return sum(
+            1
+            for p in range(P)
+            for ev in trace.events[p]
+            if ev[0] == ACQUIRE and ev[1] != base + p
+        )
+
+    ray_tasks = sum(1 for ev in ray.events[0] if ev[0] == ACQUIRE)
+    vol_tasks = sum(1 for ev in vol.events[0] if ev[0] == ACQUIRE)
+    ray_steal_rate = foreign_lock_ops(ray, 100) / max(1, ray_tasks * P)
+    vol_steal_rate = foreign_lock_ops(vol, 300) / max(1, vol_tasks * P)
+    assert vol_steal_rate < ray_steal_rate
+
+
+# --------------------------------------------------------------------- #
+# Barnes
+# --------------------------------------------------------------------- #
+def test_barnes_rebuild_locks_inside_critical_sections_touch_tree():
+    trace = get_app("barnes-rebuild", **PARAMS)
+    evs = trace.events[0]
+    for i, ev in enumerate(evs):
+        if ev[0] == ACQUIRE and ev[1] >= 1000:
+            # the next two events are the in-CS read and write
+            assert evs[i + 1][0] == READ
+            assert evs[i + 2][0] == WRITE
+            assert evs[i + 3][0] == "l"
+            break
+    else:
+        pytest.fail("no cell-lock critical section found")
+
+
+def test_barnes_space_merge_writes_own_subtree():
+    trace = get_app("barnes-space", **PARAMS)
+    for p in range(P):
+        own = pages_touched(trace, p)
+        writes = {ev[1] for ev in events_of(trace, p, WRITE)}
+        assert writes <= own, p
+
+
+def test_generator_instances_accept_custom_sizes():
+    gen = make_generator("fft", n_points=1 << 14)
+    trace = gen.generate(GenParams(n_procs=P, scale=1.0, seed=1))
+    assert "16384" in trace.problem

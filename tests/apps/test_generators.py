@@ -1,0 +1,150 @@
+"""Unit tests for the workload generators (structure and invariants)."""
+
+import pytest
+
+from repro.apps import (
+    ACQUIRE,
+    APP_ORDER,
+    BARRIER,
+    COMPUTE,
+    READ,
+    RELEASE,
+    TOUCH,
+    WRITE,
+    AddressSpace,
+    GenParams,
+    app_names,
+    get_app,
+    make_generator,
+)
+
+
+@pytest.fixture(scope="module", params=APP_ORDER)
+def trace(request):
+    return get_app(request.param, n_procs=8, scale=0.2, seed=7)
+
+
+def test_registry_covers_ten_apps():
+    assert len(app_names()) == 10
+    assert set(app_names()) == set(APP_ORDER)
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(ValueError, match="unknown application"):
+        make_generator("fourier")
+
+
+def test_trace_structure_valid(trace):
+    trace.validate()
+    assert trace.n_procs == 8
+    assert len(trace.events) == 8
+    assert trace.event_count() > 0
+
+
+def test_trace_has_compute_and_barriers(trace):
+    kinds = {ev[0] for evs in trace.events for ev in evs}
+    assert COMPUTE in kinds
+    assert BARRIER in kinds
+    assert TOUCH in kinds
+
+
+def test_all_procs_hit_same_barriers(trace):
+    """Every processor passes the same multiset of barriers (else the
+    simulation deadlocks)."""
+    per_proc = [
+        [ev[1] for ev in evs if ev[0] == BARRIER] for evs in trace.events
+    ]
+    for other in per_proc[1:]:
+        assert other == per_proc[0]
+
+
+def test_serial_time_positive_and_dominates_busy(trace):
+    assert trace.serial_cycles > 0
+    for p in range(trace.n_procs):
+        assert trace.busy_cycles(p) <= trace.serial_cycles
+
+
+def test_ideal_speedup_bounded(trace):
+    # at most n_procs x serial-stall inflation; never absurd
+    assert 1.0 <= trace.ideal_speedup <= 4 * trace.n_procs
+
+
+def test_generation_is_deterministic(trace):
+    again = get_app(trace.name, n_procs=8, scale=0.2, seed=7)
+    assert again.events == trace.events
+    assert again.serial_cycles == trace.serial_cycles
+
+
+def test_seed_changes_random_apps():
+    a = get_app("raytrace", n_procs=8, scale=0.2, seed=1)
+    b = get_app("raytrace", n_procs=8, scale=0.2, seed=2)
+    assert a.events != b.events
+
+
+def test_scale_shrinks_work():
+    small = get_app("fft", n_procs=8, scale=0.2)
+    large = get_app("fft", n_procs=8, scale=1.0)
+    assert small.serial_cycles < large.serial_cycles
+
+
+def test_locks_balanced_in_lock_apps():
+    for name in ("water-nsq", "raytrace", "volrend", "barnes-rebuild", "radix"):
+        trace = get_app(name, n_procs=8, scale=0.2)
+        for evs in trace.events:
+            outstanding = {}
+            for ev in evs:
+                if ev[0] == ACQUIRE:
+                    outstanding[ev[1]] = outstanding.get(ev[1], 0) + 1
+                elif ev[0] == RELEASE:
+                    outstanding[ev[1]] -= 1
+                    assert outstanding[ev[1]] >= 0
+            assert all(v == 0 for v in outstanding.values()), name
+
+
+def test_page_size_changes_page_numbers():
+    small_pages = get_app("fft", n_procs=8, page_size=1024, scale=0.2)
+    big_pages = get_app("fft", n_procs=8, page_size=16384, scale=0.2)
+
+    def max_page(trace):
+        return max(
+            ev[1]
+            for evs in trace.events
+            for ev in evs
+            if ev[0] in (READ, WRITE, TOUCH)
+        )
+
+    assert max_page(small_pages) > max_page(big_pages)
+
+
+def test_barnes_variants_differ_in_locking():
+    rebuild = get_app("barnes-rebuild", n_procs=8, scale=0.3)
+    space = get_app("barnes-space", n_procs=8, scale=0.3)
+
+    def lock_ops(trace):
+        return sum(1 for evs in trace.events for ev in evs if ev[0] == ACQUIRE)
+
+    assert lock_ops(rebuild) > 10 * max(1, lock_ops(space))
+
+
+def test_radix_writes_remote_partitions():
+    trace = get_app("radix", n_procs=8, scale=0.2)
+    writes = sum(1 for evs in trace.events for ev in evs if ev[0] == WRITE)
+    assert writes > 8  # scattered permutation writes exist
+
+
+def test_address_space_alloc_page_aligned():
+    space = AddressSpace(4096)
+    a = space.alloc(100)
+    b = space.alloc(5000)
+    c = space.alloc(1)
+    assert a == 0
+    assert b == 4096
+    assert c == 4096 + 8192
+    with pytest.raises(ValueError):
+        space.alloc(0)
+
+
+def test_gen_params_rng_deterministic():
+    p = GenParams(seed=5)
+    assert p.rng(1).integers(0, 1000) == p.rng(1).integers(0, 1000)
+    assert p.rng(1).integers(0, 1000) != p.rng(2).integers(0, 1000) or True

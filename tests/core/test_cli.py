@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_shows_apps_and_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fft" in out
+    assert "barnes-rebuild" in out
+    assert "figure09" in out
+    assert "section10-processing" in out
+
+
+def test_run_prints_summary_and_breakdown(capsys):
+    assert main(["run", "lu", "--scale", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "Time breakdown" in out
+    assert "compute" in out
+
+
+def test_run_unknown_app_fails(capsys):
+    assert main(["run", "doom", "--scale", "0.2"]) == 2
+    assert "unknown application" in capsys.readouterr().err
+
+
+def test_run_with_comm_overrides(capsys):
+    rc = main(
+        [
+            "run",
+            "water-sp",
+            "--scale",
+            "0.2",
+            "--interrupt-cost",
+            "0",
+            "--procs-per-node",
+            "8",
+            "--protocol",
+            "aurc",
+            "--processing",
+            "ni-offload",
+        ]
+    )
+    assert rc == 0
+    assert "water-sp" in capsys.readouterr().out
+
+
+def test_sweep_prints_table(capsys):
+    rc = main(
+        ["sweep", "lu", "interrupt_cost", "0", "10000", "--scale", "0.2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "interrupt_cost" in out
+    assert "speedup" in out
+
+
+def test_sweep_float_param(capsys):
+    rc = main(
+        ["sweep", "lu", "io_bus_mb_per_mhz", "0.25", "2.0", "--scale", "0.2"]
+    )
+    assert rc == 0
+    assert "0.25" in capsys.readouterr().out
+
+
+def test_experiment_driver(capsys):
+    rc = main(["experiment", "figure01", "--scale", "0.2", "--apps", "lu"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "figure01" in out
+    assert "lu" in out
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "figure99", "--scale", "0.2"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,56 @@
+"""Unit tests for cluster assembly."""
+
+from repro.arch import CommParams
+from repro.core import Cluster, ClusterConfig
+from repro.protocol import AURCProtocol, HLRCProtocol
+
+
+def test_cluster_builds_nodes_and_procs():
+    cluster = Cluster(ClusterConfig())
+    assert cluster.n_nodes == 4
+    assert cluster.n_procs == 16
+    for node in cluster.nodes:
+        assert len(node.cpus) == 4
+        assert node.nic.node_id == node.node_id
+        assert node.cpus[0].node is node
+
+
+def test_global_ids_sequential_across_nodes():
+    cluster = Cluster(ClusterConfig())
+    assert [c.global_id for c in cluster.procs] == list(range(16))
+    assert cluster.node_of(0).node_id == 0
+    assert cluster.node_of(5).node_id == 1
+    assert cluster.node_of(15).node_id == 3
+
+
+def test_protocol_selection():
+    assert isinstance(Cluster(ClusterConfig()).protocol, HLRCProtocol)
+    assert isinstance(
+        Cluster(ClusterConfig(protocol="aurc")).protocol, AURCProtocol
+    )
+
+
+def test_nic_hooks_wired():
+    cluster = Cluster(ClusterConfig())
+    for node in cluster.nodes:
+        assert node.nic.on_request is not None
+        assert node.nic.on_queue_overflow is not None
+
+
+def test_uniprocessor_node_cluster():
+    cfg = ClusterConfig(comm=CommParams(procs_per_node=1), total_procs=16)
+    cluster = Cluster(cfg)
+    assert cluster.n_nodes == 16
+    assert all(len(n.cpus) == 1 for n in cluster.nodes)
+
+
+def test_single_node_smp():
+    cfg = ClusterConfig(comm=CommParams(procs_per_node=16), total_procs=16)
+    cluster = Cluster(cfg)
+    assert cluster.n_nodes == 1
+
+
+def test_directory_uses_config_page_size():
+    cfg = ClusterConfig(comm=CommParams(page_size=8192))
+    cluster = Cluster(cfg)
+    assert cluster.directory.page_size == 8192

@@ -1,0 +1,51 @@
+"""Unit tests for ClusterConfig."""
+
+import pytest
+
+from repro.arch import ACHIEVABLE, BEST, CommParams
+from repro.core import ClusterConfig
+
+
+def test_defaults_are_achievable_16_procs():
+    cfg = ClusterConfig()
+    assert cfg.comm == ACHIEVABLE
+    assert cfg.total_procs == 16
+    assert cfg.n_nodes == 4
+    assert cfg.protocol == "hlrc"
+
+
+def test_with_comm_builds_new_config():
+    cfg = ClusterConfig().with_comm(interrupt_cost=9999)
+    assert cfg.comm.interrupt_cost == 9999
+    assert ClusterConfig().comm.interrupt_cost == ACHIEVABLE.interrupt_cost
+
+
+def test_best_config():
+    cfg = ClusterConfig(comm=BEST)
+    assert cfg.comm.host_overhead == 0
+    assert cfg.n_nodes == 4
+
+
+def test_invalid_protocol_rejected():
+    with pytest.raises(ValueError):
+        ClusterConfig(protocol="treadmarks")
+
+
+def test_procs_must_divide_by_clustering():
+    with pytest.raises(ValueError):
+        ClusterConfig(comm=CommParams(procs_per_node=3), total_procs=16)
+    cfg = ClusterConfig(comm=CommParams(procs_per_node=8), total_procs=16)
+    assert cfg.n_nodes == 2
+
+
+def test_label_mentions_key_parameters():
+    label = ClusterConfig(protocol="aurc").label()
+    assert "aurc" in label
+    assert "intr=500" in label
+    assert "ppn=4" in label
+
+
+def test_replace():
+    cfg = ClusterConfig().replace(protocol="aurc", seed=7)
+    assert cfg.protocol == "aurc"
+    assert cfg.seed == 7

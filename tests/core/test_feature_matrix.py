@@ -1,0 +1,57 @@
+"""Combinatorial smoke tests: every protocol x processing-mode x NI-count
+combination must run to completion with sane output (features compose)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.arch import CommParams
+from repro.core import ClusterConfig, run_simulation
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def app():
+    return get_app("water-nsq", scale=SCALE)
+
+
+@pytest.mark.parametrize("protocol", ["hlrc", "aurc"])
+@pytest.mark.parametrize(
+    "processing", ["interrupt", "polling-dedicated", "ni-offload"]
+)
+@pytest.mark.parametrize("nis", [1, 2])
+def test_feature_combination(app, protocol, processing, nis):
+    cfg = ClusterConfig(protocol=protocol).with_comm(
+        protocol_processing=processing, nis_per_node=nis
+    )
+    r = run_simulation(app, cfg)
+    assert r.total_cycles > 0
+    assert 0 < r.speedup <= r.ideal_speedup + 0.5
+    c = r.counters
+    assert c.barriers == 16 * app.events[0].count(("b", 1)) or c.barriers > 0
+    if protocol == "aurc":
+        assert c.diffs_created == 0
+    if processing != "interrupt":
+        assert r.meta["interrupts"] == 0
+
+
+@pytest.mark.parametrize("scheme", ["fixed", "round_robin"])
+@pytest.mark.parametrize("page_size", [1024, 16384])
+def test_scheme_and_page_size_combinations(scheme, page_size):
+    app = get_app("raytrace", page_size=page_size, scale=SCALE)
+    cfg = ClusterConfig().with_comm(
+        interrupt_scheme=scheme, page_size=page_size
+    )
+    r = run_simulation(app, cfg)
+    assert r.total_cycles > 0
+
+
+def test_uniprocessor_node_with_all_modes():
+    app = get_app("lu", scale=SCALE)
+    for processing in ("interrupt", "polling-dedicated", "ni-offload"):
+        cfg = ClusterConfig(
+            comm=CommParams(procs_per_node=1, protocol_processing=processing),
+            total_procs=16,
+        )
+        r = run_simulation(app, cfg)
+        assert r.total_cycles > 0

@@ -1,0 +1,103 @@
+"""Tests for the interrupt-free protocol-processing modes (extension)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.arch import CommParams
+from repro.core import Cluster, ClusterConfig, run_simulation
+
+SCALE = 0.3
+
+
+def run_mode(app, mode, interrupt_cost=500, **kw):
+    cfg = ClusterConfig().with_comm(
+        protocol_processing=mode, interrupt_cost=interrupt_cost, **kw
+    )
+    return run_simulation(app, cfg)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return get_app("barnes-rebuild", scale=SCALE)
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        CommParams(protocol_processing="smoke-signals")
+    with pytest.raises(ValueError):
+        CommParams(poll_latency=-1)
+
+
+def test_service_cpu_created_only_when_needed():
+    assert Cluster(ClusterConfig()).nodes[0].service_cpu is None
+    cfg = ClusterConfig().with_comm(protocol_processing="polling-dedicated")
+    cluster = Cluster(cfg)
+    for node in cluster.nodes:
+        assert node.service_cpu is not None
+        # the service CPU is not an application processor
+        assert node.service_cpu not in cluster.procs
+
+
+def test_polling_mode_raises_no_interrupts(app):
+    r = run_mode(app, "polling-dedicated")
+    assert r.meta["interrupts"] == 0
+    assert r.speedup > 0
+
+
+def test_ni_offload_raises_no_interrupts(app):
+    r = run_mode(app, "ni-offload")
+    assert r.meta["interrupts"] == 0
+
+
+def test_polling_immune_to_interrupt_cost(app):
+    cheap = run_mode(app, "polling-dedicated", interrupt_cost=0)
+    dear = run_mode(app, "polling-dedicated", interrupt_cost=10000)
+    assert dear.speedup == pytest.approx(cheap.speedup, rel=0.02)
+
+
+def test_offload_immune_to_interrupt_cost(app):
+    cheap = run_mode(app, "ni-offload", interrupt_cost=0)
+    dear = run_mode(app, "ni-offload", interrupt_cost=10000)
+    assert dear.speedup == pytest.approx(cheap.speedup, rel=0.02)
+
+
+def test_interrupt_mode_crosses_below_polling(app):
+    """With expensive interrupts, both alternatives win; with free
+    interrupts, the base system is competitive."""
+    intr_dear = run_mode(app, "interrupt", interrupt_cost=10000)
+    poll = run_mode(app, "polling-dedicated", interrupt_cost=10000)
+    offload = run_mode(app, "ni-offload", interrupt_cost=10000)
+    assert poll.speedup > 1.2 * intr_dear.speedup
+    assert offload.speedup > 1.2 * intr_dear.speedup
+
+    intr_free = run_mode(app, "interrupt", interrupt_cost=0)
+    assert intr_free.speedup > 0.85 * poll.speedup
+
+
+def test_offload_pays_assist_overhead(app):
+    fast_assist = run_mode(app, "ni-offload", assist_overhead=0)
+    slow_assist = run_mode(app, "ni-offload", assist_overhead=8000)
+    assert fast_assist.speedup > slow_assist.speedup
+
+
+def test_poll_latency_costs(app):
+    quick = run_mode(app, "polling-dedicated", poll_latency=0)
+    sluggish = run_mode(app, "polling-dedicated", poll_latency=5000)
+    assert quick.speedup > sluggish.speedup
+
+
+def test_handlers_do_not_steal_app_time_in_polling_mode():
+    app = get_app("fft", scale=SCALE)
+    r = run_mode(app, "polling-dedicated")
+    # all application processors report zero handler (stolen) time
+    assert all(s.time["handler"] == 0 for s in r.proc_stats)
+
+
+def test_equal_budget_polling_runs():
+    app12 = get_app("fft", n_procs=12, scale=SCALE)
+    cfg = ClusterConfig(total_procs=12).with_comm(
+        procs_per_node=3, protocol_processing="polling-dedicated"
+    )
+    r = run_simulation(app12, cfg)
+    assert r.n_procs == 12
+    assert r.speedup > 0

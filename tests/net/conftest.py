@@ -1,0 +1,56 @@
+"""Shared fixtures: a minimal two-node communication fabric."""
+
+import pytest
+
+from repro.arch import ArchParams, CommParams, MemoryBus, Processor
+from repro.net import IOBus, MessagingLayer, Network, NetworkInterface
+from repro.osys import InterruptController
+from repro.sim import Simulator
+
+
+class MiniNode:
+    """A bare node: one CPU, memory bus, I/O bus, NI, interrupt controller."""
+
+    def __init__(self, sim, node_id, arch, comm, network, n_cpus=1):
+        self.node_id = node_id
+        self.membus = MemoryBus(sim, arch, name=f"membus{node_id}")
+        self.iobus = IOBus(sim, comm.io_bytes_per_cycle, name=f"iobus{node_id}")
+        self.cpus = [
+            Processor(sim, global_id=node_id * n_cpus + i, cpu_index=i, bus=self.membus)
+            for i in range(n_cpus)
+        ]
+        self.nic = NetworkInterface(sim, node_id, arch, comm, self.membus, self.iobus, network)
+        self.irq = InterruptController(sim, self.cpus, comm)
+
+
+class MiniCluster:
+    def __init__(self, sim, arch, comm, n_nodes=2, n_cpus=1):
+        self.network = Network(sim, arch.link_bytes_per_cycle, arch.link_latency_cycles)
+        self.nodes = [
+            MiniNode(sim, i, arch, comm, self.network, n_cpus=n_cpus) for i in range(n_nodes)
+        ]
+        self.msg = MessagingLayer(sim, arch, comm, {n.node_id: n.nic for n in self.nodes})
+
+
+@pytest.fixture
+def arch():
+    return ArchParams()
+
+
+@pytest.fixture
+def comm():
+    return CommParams()
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def cluster(sim, arch, comm):
+    return MiniCluster(sim, arch, comm)
+
+
+def make_cluster(sim, arch=None, comm=None, n_nodes=2, n_cpus=1):
+    return MiniCluster(sim, arch or ArchParams(), comm or CommParams(), n_nodes, n_cpus)

@@ -1,0 +1,60 @@
+"""Unit tests for Message/packet arithmetic."""
+
+import pytest
+
+from repro.net import Message, MessageKind
+from repro.sim import Event, Simulator
+
+
+def make_msg(size=4096, kind=MessageKind.SYNC, **kw):
+    return Message(src_node=0, dst_node=1, kind=kind, size_bytes=size, **kw)
+
+
+def test_packet_count_single_page():
+    msg = make_msg(4096)
+    assert msg.packet_count(mtu=4096) == 1
+
+
+def test_packet_count_rounds_up():
+    assert make_msg(4097).packet_count(4096) == 2
+    assert make_msg(8192).packet_count(4096) == 2
+    assert make_msg(1).packet_count(4096) == 1
+
+
+def test_empty_message_still_one_packet():
+    assert make_msg(0).packet_count(4096) == 1
+
+
+def test_wire_bytes_adds_header_per_packet():
+    msg = make_msg(8192)
+    assert msg.wire_bytes(mtu=4096, header_bytes=64) == 8192 + 2 * 64
+
+
+def test_invalid_mtu_rejected():
+    with pytest.raises(ValueError):
+        make_msg().packet_count(0)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        make_msg(-1)
+
+
+def test_intra_node_message_rejected():
+    with pytest.raises(ValueError):
+        Message(src_node=0, dst_node=0, kind=MessageKind.SYNC, size_bytes=0)
+
+
+def test_reply_requires_reply_to():
+    with pytest.raises(ValueError):
+        Message(src_node=0, dst_node=1, kind=MessageKind.REPLY, size_bytes=0)
+    sim = Simulator()
+    msg = Message(
+        src_node=0, dst_node=1, kind=MessageKind.REPLY, size_bytes=0, reply_to=Event(sim)
+    )
+    assert msg.kind is MessageKind.REPLY
+
+
+def test_message_ids_unique():
+    a, b = make_msg(), make_msg()
+    assert a.msg_id != b.msg_id

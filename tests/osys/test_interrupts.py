@@ -1,0 +1,108 @@
+"""Direct unit tests for the interrupt controller."""
+
+import pytest
+
+from repro.arch import ArchParams, CommParams, MemoryBus, Processor
+from repro.osys import InterruptController
+from repro.sim import Simulator
+
+
+def make_node(sim, n_cpus=2, **comm_kw):
+    comm = CommParams(**comm_kw)
+    bus = MemoryBus(sim, ArchParams())
+    cpus = [Processor(sim, i, i, bus=bus) for i in range(n_cpus)]
+    return cpus, InterruptController(sim, cpus, comm)
+
+
+def test_requires_processors():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        InterruptController(sim, [], CommParams())
+
+
+def test_fixed_scheme_always_cpu0():
+    sim = Simulator()
+    cpus, irq = make_node(sim, n_cpus=4)
+    assert all(irq.target_cpu() is cpus[0] for _ in range(5))
+
+
+def test_round_robin_cycles():
+    sim = Simulator()
+    cpus, irq = make_node(sim, n_cpus=3, interrupt_scheme="round_robin")
+    picks = [irq.target_cpu() for _ in range(6)]
+    assert picks == [cpus[0], cpus[1], cpus[2], cpus[0], cpus[1], cpus[2]]
+
+
+def test_handler_result_delivered_via_done_event():
+    sim = Simulator()
+    _cpus, irq = make_node(sim, interrupt_cost=100)
+    results = []
+
+    def body():
+        yield sim.timeout(50)
+        return "done-value"
+
+    def waiter():
+        value = yield irq.raise_interrupt(body())
+        results.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    # issue(100) + delivery(100) + body(50)
+    assert results == [(250, "done-value")]
+
+
+def test_factory_form_receives_target_cpu():
+    sim = Simulator()
+    cpus, irq = make_node(sim)
+    seen = []
+
+    def factory(cpu):
+        def body():
+            seen.append(cpu)
+            return
+            yield
+
+        return body()
+
+    irq.raise_interrupt(factory)
+    sim.run()
+    assert seen == [cpus[0]]
+
+
+def test_null_interrupt_costs_both_sides():
+    sim = Simulator()
+    _cpus, irq = make_node(sim, interrupt_cost=700)
+    done_at = []
+
+    def waiter():
+        yield irq.null_interrupt()
+        done_at.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert done_at == [1400]
+
+
+def test_zero_cost_interrupt_is_immediate():
+    sim = Simulator()
+    _cpus, irq = make_node(sim, interrupt_cost=0)
+    done_at = []
+
+    def waiter():
+        yield irq.null_interrupt()
+        done_at.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert done_at == [0]
+
+
+def test_interrupts_counted():
+    sim = Simulator()
+    cpus, irq = make_node(sim)
+    for _ in range(3):
+        irq.null_interrupt()
+    sim.run()
+    assert irq.interrupts_raised == 3
+    assert cpus[0].stats.get_count("interrupts") == 3

@@ -1,0 +1,51 @@
+"""Fixtures for protocol tests: small clusters and process drivers."""
+
+import pytest
+
+from repro.arch import ArchParams, CommParams
+from repro.core import Cluster, ClusterConfig
+
+
+def small_config(**kw):
+    """4 processors on 2 nodes, round-robin homes for determinism."""
+    comm_kw = {
+        k: kw.pop(k)
+        for k in (
+            "host_overhead",
+            "io_bus_mb_per_mhz",
+            "ni_occupancy",
+            "interrupt_cost",
+            "page_size",
+            "procs_per_node",
+            "interrupt_scheme",
+        )
+        if k in kw
+    }
+    comm = CommParams(**{"procs_per_node": 2, **comm_kw})
+    defaults = dict(
+        arch=ArchParams(),
+        comm=comm,
+        total_procs=4,
+        home_policy="round_robin",
+    )
+    defaults.update(kw)
+    return ClusterConfig(**defaults)
+
+
+def build(**kw):
+    return Cluster(small_config(**kw))
+
+
+def run_workers(cluster, worker_fns):
+    """Spawn one worker generator per entry {proc_id: fn(cpu, protocol)}
+    and run the simulation to completion."""
+    for proc_id, fn in worker_fns.items():
+        cpu = cluster.procs[proc_id]
+        cluster.sim.spawn(fn(cpu, cluster.protocol), name=f"worker{proc_id}")
+    cluster.sim.run()
+    return cluster
+
+
+@pytest.fixture
+def cluster():
+    return build()

@@ -1,0 +1,120 @@
+"""Tests for hierarchical barriers."""
+
+from repro.arch import CommParams
+from repro.core import Cluster, ClusterConfig
+
+from tests.protocol.conftest import build, run_workers
+
+
+def test_barrier_releases_all_together():
+    cluster = build()
+    release_times = {}
+
+    def worker(delay):
+        def gen(cpu, proto):
+            yield cluster.sim.timeout(delay)
+            yield from proto.barrier(cpu, 0)
+            release_times[cpu.global_id] = cluster.sim.now
+
+        return gen
+
+    run_workers(
+        cluster, {0: worker(0), 1: worker(5_000), 2: worker(10_000), 3: worker(123)}
+    )
+    assert len(release_times) == 4
+    # nobody is released before the last arrival
+    assert min(release_times.values()) >= 10_000
+    # releases are close together (one message round)
+    spread = max(release_times.values()) - min(release_times.values())
+    assert spread < 100_000
+
+
+def test_barrier_no_interrupts():
+    """Barriers use synchronous messages: no interrupt is ever raised."""
+    cluster = build()
+
+    def worker(cpu, proto):
+        yield from proto.barrier(cpu, 0)
+
+    run_workers(cluster, {i: worker for i in range(4)})
+    for node in cluster.nodes:
+        assert node.irq.interrupts_raised == 0
+
+
+def test_barrier_counts_per_processor():
+    cluster = build()
+
+    def worker(cpu, proto):
+        for _ in range(3):
+            yield from proto.barrier(cpu, 7)
+
+    run_workers(cluster, {i: worker for i in range(4)})
+    assert cluster.protocol.counters.barriers == 12
+    for cpu in cluster.procs:
+        assert cpu.stats.get_count("barriers") == 3
+
+
+def test_back_to_back_barriers_do_not_alias():
+    cluster = build()
+    checkpoints = []
+
+    def worker(cpu, proto):
+        yield from proto.barrier(cpu, 0)
+        checkpoints.append(("a", cpu.global_id, cluster.sim.now))
+        yield from proto.barrier(cpu, 0)
+        checkpoints.append(("b", cpu.global_id, cluster.sim.now))
+
+    run_workers(cluster, {i: worker for i in range(4)})
+    a_times = [t for tag, _, t in checkpoints if tag == "a"]
+    b_times = [t for tag, _, t in checkpoints if tag == "b"]
+    assert len(a_times) == len(b_times) == 4
+    assert min(b_times) >= max(a_times)  # strict phase ordering
+
+
+def test_single_node_barrier_pure_shared_memory():
+    config = ClusterConfig(
+        comm=CommParams(procs_per_node=4), total_procs=4, home_policy="round_robin"
+    )
+    cluster = Cluster(config)
+    released = []
+
+    def worker(cpu, proto):
+        yield from proto.barrier(cpu, 0)
+        released.append(cluster.sim.now)
+
+    for cpu in cluster.procs:
+        cluster.sim.spawn(worker(cpu, cluster.protocol))
+    cluster.sim.run()
+    assert len(released) == 4
+    assert cluster.network.messages_carried == 0
+
+
+def test_uniprocessor_nodes_barrier_all_messages():
+    config = ClusterConfig(
+        comm=CommParams(procs_per_node=1), total_procs=4, home_policy="round_robin"
+    )
+    cluster = Cluster(config)
+
+    def worker(cpu, proto):
+        yield from proto.barrier(cpu, 0)
+
+    for cpu in cluster.procs:
+        cluster.sim.spawn(worker(cpu, cluster.protocol))
+    cluster.sim.run()
+    # 3 arrivals to the master + 3 releases
+    assert cluster.network.messages_carried == 6
+
+
+def test_barrier_wait_time_charged_to_early_arrivals():
+    cluster = build()
+
+    def early(cpu, proto):
+        yield from proto.barrier(cpu, 0)
+
+    def late(cpu, proto):
+        yield from cpu.busy(100_000, "compute")
+        yield from proto.barrier(cpu, 0)
+
+    run_workers(cluster, {0: early, 1: early, 2: early, 3: late})
+    assert cluster.procs[0].stats.time["barrier_wait"] >= 90_000
+    assert cluster.procs[3].stats.time["barrier_wait"] < 50_000

@@ -1,0 +1,110 @@
+"""Tests for the SMP node-sharing machinery and clustering mechanics."""
+
+from repro.arch import CommParams
+from repro.core import Cluster, ClusterConfig
+
+
+def build(ppn, total=8, **kw):
+    return Cluster(
+        ClusterConfig(
+            comm=CommParams(procs_per_node=ppn, **kw),
+            total_procs=total,
+            home_policy="round_robin",
+        )
+    )
+
+
+def run_workers(cluster, workers):
+    for pid, fn in workers.items():
+        cluster.sim.spawn(fn(cluster.procs[pid], cluster.protocol))
+    cluster.sim.run()
+    return cluster
+
+
+def test_whole_node_shares_one_fetched_page():
+    """After any processor of a node fetches a page, every sibling reads
+    it for free."""
+    cluster = build(ppn=4, total=8)
+    order = []
+
+    def first(cpu, proto):
+        yield from proto.read(cpu, 1)  # page 1 homes at node 1: fetch
+        order.append("fetched")
+
+    def siblings(cpu, proto):
+        while "fetched" not in order:
+            yield cluster.sim.timeout(1000)
+        before = cluster.sim.now
+        yield from proto.read(cpu, 1)
+        assert cluster.sim.now == before  # free: already node-valid
+
+    run_workers(cluster, {0: first, 1: siblings, 2: siblings})
+    assert cluster.protocol.counters.page_fetches == 1
+
+
+def test_invalidation_is_node_wide():
+    """An acquire-driven invalidation drops the page for the whole node,
+    so the next reader (any sibling) re-fetches once."""
+    cluster = build(ppn=2, total=4)
+    phase = []
+
+    def writer(cpu, proto):
+        yield from proto.acquire(cpu, 5)
+        yield from proto.write(cpu, 2, words=4)  # page 2 homes at node 0
+        yield from proto.release(cpu, 5)
+        phase.append("written")
+
+    def reader_a(cpu, proto):
+        yield from proto.read(cpu, 2)  # cold fetch for node 1
+        while "written" not in phase:
+            yield cluster.sim.timeout(1000)
+        yield from proto.acquire(cpu, 5)
+        yield from proto.release(cpu, 5)
+        phase.append("invalidated")
+
+    def reader_b(cpu, proto):
+        while "invalidated" not in phase:
+            yield cluster.sim.timeout(1000)
+        yield from proto.read(cpu, 2)  # sibling pays the re-fetch
+
+    run_workers(cluster, {0: writer, 2: reader_a, 3: reader_b})
+    # one cold fetch + one post-invalidation fetch, node-wide
+    assert cluster.protocol.counters.page_fetches == 2
+
+
+def test_single_node_cluster_never_touches_network():
+    cluster = build(ppn=8, total=8)
+
+    def worker(cpu, proto):
+        yield from proto.read(cpu, 3)
+        yield from proto.write(cpu, 3, words=4)
+        yield from proto.acquire(cpu, 1)
+        yield from proto.release(cpu, 1)
+        yield from proto.barrier(cpu, 0)
+
+    run_workers(cluster, {i: worker for i in range(8)})
+    assert cluster.network.messages_carried == 0
+    c = cluster.protocol.counters
+    assert c.page_fetches == 0
+    assert c.remote_lock_acquires == 0
+    assert c.local_lock_acquires == 8
+
+
+def test_more_clustering_fewer_fetches_same_trace():
+    from repro.apps import get_app
+    from repro.core import run_simulation
+
+    app = get_app("water-nsq", n_procs=8, scale=0.3)
+    few = run_simulation(
+        app,
+        ClusterConfig(
+            comm=CommParams(procs_per_node=1), total_procs=8, home_policy="round_robin"
+        ),
+    )
+    many = run_simulation(
+        app,
+        ClusterConfig(
+            comm=CommParams(procs_per_node=4), total_procs=8, home_policy="round_robin"
+        ),
+    )
+    assert many.counters.page_fetches < few.counters.page_fetches

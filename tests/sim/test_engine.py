@@ -1,0 +1,160 @@
+"""Unit tests for the event-heap scheduler."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.pending == 0
+    assert sim.dispatched == 0
+    assert sim.peek() is None
+
+
+def test_schedule_and_run_ordering():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    n = sim.run()
+    assert order == ["a", "b", "c"]
+    assert n == 3
+    assert sim.now == 30
+
+
+def test_fifo_tie_break_at_same_time():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(5, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(100, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [100]
+
+
+def test_schedule_now_runs_after_pending_same_time_events():
+    sim = Simulator()
+    order = []
+    sim.schedule(0, order.append, "first")
+    sim.schedule_now(order.append, "second")
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(50, lambda: sim.schedule_at(10, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(100, fired.append, 2)
+    sim.run(until=50)
+    assert fired == [1]
+    assert sim.now == 50
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_advances_clock_when_heap_drains_early():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run(until=1000)
+    assert sim.now == 1000
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1, rearm)
+
+    sim.schedule(1, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_fractional_delay_rounds_up():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1]
+
+
+def test_step_single_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3, seen.append, "x")
+    assert sim.step() is True
+    assert seen == ["x"]
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_dispatch_run():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(5, order.append, "inner")
+
+    sim.schedule(1, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 6
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    sim.schedule(42, lambda: None)
+    sim.schedule(7, lambda: None)
+    assert sim.peek() == 7
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+        for i in range(50):
+            sim.schedule((i * 37) % 11, log.append, i)
+        sim.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,150 @@
+"""Unit tests for Event combinators and tracing."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator, Tracer
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = Event(sim)
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = Event(sim)
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_event_ok_flag():
+    sim = Simulator()
+    good = Event(sim).succeed(1)
+    bad = Event(sim).fail(ValueError("x"))
+    assert good.ok
+    assert not bad.ok
+    assert bad.triggered
+
+
+def test_allof_waits_for_every_event():
+    sim = Simulator()
+    evs = [Event(sim) for _ in range(3)]
+    seen = []
+
+    def waiter():
+        values = yield AllOf(sim, evs)
+        seen.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.schedule(10, evs[2].succeed, "c")
+    sim.schedule(20, evs[0].succeed, "a")
+    sim.schedule(30, evs[1].succeed, "b")
+    sim.run()
+    assert seen == [(30, ["a", "b", "c"])]
+
+
+def test_allof_with_already_triggered_events():
+    sim = Simulator()
+    evs = [Event(sim).succeed(i) for i in range(3)]
+    seen = []
+
+    def waiter():
+        values = yield AllOf(sim, evs)
+        seen.append(values)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [[0, 1, 2]]
+
+
+def test_allof_empty_list_resumes_immediately():
+    sim = Simulator()
+    seen = []
+
+    def waiter():
+        values = yield AllOf(sim, [])
+        seen.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [(0, [])]
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+    evs = [Event(sim), Event(sim)]
+    caught = []
+
+    def waiter():
+        try:
+            yield AllOf(sim, evs)
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.schedule(5, evs[0].fail, ValueError("dead"))
+    sim.run()
+    assert caught == ["dead"]
+
+
+def test_anyof_first_wins():
+    sim = Simulator()
+    evs = [Event(sim) for _ in range(3)]
+    seen = []
+
+    def waiter():
+        idx, value = yield AnyOf(sim, evs)
+        seen.append((sim.now, idx, value))
+
+    sim.spawn(waiter())
+    sim.schedule(15, evs[1].succeed, "winner")
+    sim.schedule(20, evs[0].succeed, "loser")
+    sim.run()
+    assert seen == [(15, 1, "winner")]
+
+
+def test_anyof_pre_triggered():
+    sim = Simulator()
+    evs = [Event(sim), Event(sim).succeed("ready")]
+    seen = []
+
+    def waiter():
+        idx, value = yield AnyOf(sim, evs)
+        seen.append((idx, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert seen == [(1, "ready")]
+
+
+def test_tracer_collects_and_limits():
+    tracer = Tracer(limit=2)
+    tracer.record(1, "a", "x")
+    tracer.record(2, "b", "y")
+    tracer.record(3, "c", "z")  # beyond limit: dropped, tracer disabled
+    assert len(tracer.records) == 2
+    assert not tracer.enabled
+    assert "a" in tracer.dump()
+    tracer.clear()
+    assert tracer.enabled
+    assert tracer.records == []
+
+
+def test_tracer_kind_filter():
+    tracer = Tracer(kinds={"keep"})
+    tracer.record(1, "keep", "x")
+    tracer.record(1, "drop", "y")
+    assert [r.kind for r in tracer.records] == ["keep"]
+
+
+def test_simulator_with_tracer_records_dispatches():
+    tracer = Tracer()
+    sim = Simulator(tracer=tracer)
+    sim.schedule(5, lambda: None)
+    sim.run()
+    assert any(r.kind == "dispatch" for r in tracer.records)
