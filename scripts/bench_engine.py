@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Microbenchmark the DES hot loop: per-event dispatch cost.
+
+Compares the optimized :class:`repro.sim.engine.Simulator` against a
+reference engine that replicates the pre-optimization inner loop (peek
+then pop, a ``math.ceil`` float round-trip on every ``schedule``, and
+per-event deadline/budget/tracer branches).  Both run the same synthetic
+event storm — a set of self-rescheduling timer chains, the engine's
+worst case because every dispatch immediately schedules again — so the
+difference is pure dispatch overhead.
+
+Writes ``benchmarks/output/BENCH_engine.json``::
+
+    PYTHONPATH=src python scripts/bench_engine.py --events 300000
+"""
+
+import argparse
+import heapq
+import json
+import math
+import pathlib
+import time
+
+from repro.sim.engine import Simulator
+from repro.sim.tracing import NullTracer
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "output"
+
+
+class ReferenceSimulator:
+    """The seed engine's scheduling/dispatch loop, kept for comparison."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap = []
+        self._seq = 0
+        self._dispatched = 0
+        self.tracer = NullTracer()
+
+    def schedule(self, delay, fn, *args):
+        if delay < 0:
+            raise ValueError(delay)
+        when_i = int(math.ceil(self.now + delay))
+        heapq.heappush(self._heap, (when_i, self._seq, fn, args))
+        self._seq += 1
+
+    def run(self, until=None, max_events=None):
+        dispatched_before = self._dispatched
+        trace = self.tracer
+        while self._heap:
+            when, seq, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self.now = int(until)
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            self._dispatched += 1
+            if max_events is not None and self._dispatched - dispatched_before > max_events:
+                raise ValueError("max_events")
+            if trace.enabled:
+                trace.record(when, "dispatch", repr(fn))
+            fn(*args)
+        return self._dispatched - dispatched_before
+
+
+def storm(sim, chains: int, events_per_chain: int) -> int:
+    """Self-rescheduling timer chains; returns total events dispatched."""
+    remaining = [events_per_chain] * chains
+
+    def tick(i):
+        remaining[i] -= 1
+        if remaining[i]:
+            sim.schedule(7 + i, tick, i)
+
+    for i in range(chains):
+        sim.schedule(i, tick, i)
+    return sim.run()
+
+
+def bench(make_sim, chains, events_per_chain, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        sim = make_sim()
+        t0 = time.perf_counter()
+        n = storm(sim, chains, events_per_chain)
+        dt = time.perf_counter() - t0
+        best = min(best, dt / n)
+    return n, best
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=300_000, help="events per run")
+    parser.add_argument("--chains", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    per_chain = max(1, args.events // args.chains)
+
+    n, ref = bench(ReferenceSimulator, args.chains, per_chain, args.repeats)
+    _, opt = bench(Simulator, args.chains, per_chain, args.repeats)
+
+    record = {
+        "events_per_run": n,
+        "reference_ns_per_event": round(ref * 1e9, 1),
+        "optimized_ns_per_event": round(opt * 1e9, 1),
+        "speedup": round(ref / opt, 3),
+        "reference_events_per_s": round(1 / ref),
+        "optimized_events_per_s": round(1 / opt),
+    }
+    OUTPUT.mkdir(exist_ok=True)
+    (OUTPUT / "BENCH_engine.json").write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    if record["speedup"] < 1.0:
+        raise SystemExit("engine fast path is SLOWER than the reference loop")
+
+
+if __name__ == "__main__":
+    main()

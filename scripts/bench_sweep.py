@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Benchmark the full experiment grid: serial vs parallel vs warm cache.
+
+Times three regenerations of every experiment driver via
+``scripts/run_all_experiments.py`` in subprocesses (so each phase gets a
+clean process and an explicitly controlled ``REPRO_CACHE_DIR``):
+
+1. **serial cold** — ``--jobs 1``, empty disk cache;
+2. **parallel cold** — ``--jobs N``, empty disk cache;
+3. **parallel warm** — ``--jobs N`` again over the phase-2 cache, so
+   every point is a disk hit.
+
+Writes the timings (plus the speedup ratios the acceptance criteria
+track) to ``BENCH_sweep.json``::
+
+    python scripts/bench_sweep.py --scale 0.05 --jobs 2 --out BENCH_sweep.json
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _run_phase(name, scale, jobs, cache_dir, out_dir):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_JOBS", None)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        str(REPO_ROOT / "scripts" / "run_all_experiments.py"),
+        "--scale",
+        str(scale),
+        "--out",
+        str(out_dir),
+        "--jobs",
+        str(jobs),
+    ]
+    t0 = time.time()
+    subprocess.run(cmd, check=True, env=env, stdout=subprocess.DEVNULL)
+    dt = time.time() - t0
+    print(f"{name:<14} jobs={jobs:<3} {dt:7.1f}s", flush=True)
+    return dt
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel worker count (0 = all cores)"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=REPO_ROOT / "BENCH_sweep.json")
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        tmp = pathlib.Path(tmp)
+        serial = _run_phase(
+            "serial-cold", args.scale, 1, tmp / "cache-serial", tmp / "out-serial"
+        )
+        parallel = _run_phase(
+            "parallel-cold", args.scale, jobs, tmp / "cache-par", tmp / "out-par"
+        )
+        warm = _run_phase(
+            "parallel-warm", args.scale, jobs, tmp / "cache-par", tmp / "out-warm"
+        )
+
+    record = {
+        "scale": args.scale,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_cold_s": round(serial, 2),
+        "parallel_cold_s": round(parallel, 2),
+        "parallel_warm_s": round(warm, 2),
+        "parallel_speedup_vs_serial": round(serial / parallel, 2),
+        "warm_speedup_vs_cold": round(parallel / warm, 2),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

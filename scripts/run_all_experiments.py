@@ -3,14 +3,23 @@
 
 Used to produce the numbers recorded in EXPERIMENTS.md::
 
-    python scripts/run_all_experiments.py 1.0 results/
+    python scripts/run_all_experiments.py --scale 1.0 --out results/ --jobs 0
+
+``--jobs N`` fans each driver's simulation grid over N worker processes
+(0 = one per core); repeated points — e.g. the achievable baseline that
+almost every driver needs — are simulated once and then served from the
+persistent disk cache (``results/.runcache/``), so a re-run after an
+interrupted regeneration, or a second regeneration at the same scale, is
+mostly cache hits.  The legacy positional form
+``run_all_experiments.py 1.0 results/`` still works.
 """
 
+import argparse
 import json
 import pathlib
-import sys
 import time
 
+from repro.core.executor import resolve_jobs, set_default_jobs
 from repro.experiments import (
     ablations,
     breakdowns,
@@ -65,25 +74,77 @@ DRIVERS = [
 ]
 
 
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
-    out_dir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "results")
+def run_all(scale: float, out_dir: pathlib.Path, jobs=None, quiet: bool = False):
+    """Run every driver; returns ``{driver_name: seconds}`` wall-clock timings.
+
+    ``jobs`` (when given) becomes the process-wide default worker count,
+    so every driver's grid fans out without per-driver plumbing.
+    """
+    if jobs is not None:
+        set_default_jobs(jobs)
     out_dir.mkdir(parents=True, exist_ok=True)
     combined = []
+    timings = {}
     t_start = time.time()
     for name, driver in DRIVERS:
         t0 = time.time()
         out = driver(scale)
         dt = time.time() - t0
+        timings[name] = dt
         text = out.table_str()
         (out_dir / f"{name}.txt").write_text(text + "\n")
         (out_dir / f"{name}.json").write_text(
             json.dumps(out.data, indent=2, default=str) + "\n"
         )
         combined.append(text)
-        print(f"[{time.time() - t_start:7.1f}s] {name:<22} done in {dt:6.1f}s", flush=True)
+        if not quiet:
+            print(
+                f"[{time.time() - t_start:7.1f}s] {name:<22} done in {dt:6.1f}s",
+                flush=True,
+            )
     (out_dir / "ALL.txt").write_text("\n\n\n".join(combined) + "\n")
-    print(f"all experiments written to {out_dir}/")
+    return timings
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "legacy",
+        nargs="*",
+        default=[],
+        metavar="SCALE [OUT_DIR]",
+        help="legacy positional form: scale followed by output directory",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="problem-size multiplier")
+    parser.add_argument("--out", type=pathlib.Path, default=None, help="output directory")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per simulation grid (default: REPRO_JOBS or 1; "
+        "0 = all cores)",
+    )
+    args = parser.parse_args(argv)
+    if args.scale is None and args.legacy:
+        args.scale = float(args.legacy[0])
+    if args.out is None and len(args.legacy) > 1:
+        args.out = pathlib.Path(args.legacy[1])
+    if args.scale is None:
+        args.scale = 1.0
+    if args.out is None:
+        args.out = pathlib.Path("results")
+    return args
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
+    t0 = time.time()
+    run_all(args.scale, args.out, jobs=jobs)
+    print(
+        f"all experiments written to {args.out}/ "
+        f"({time.time() - t0:.1f}s, jobs={jobs})"
+    )
 
 
 if __name__ == "__main__":

@@ -55,6 +55,18 @@ class ProcessorStats:
         self.time: Dict[str, int] = {cat: 0 for cat in TIME_CATEGORIES}
         self.counters: Dict[str, int] = {}
 
+    def __eq__(self, other: object) -> bool:
+        # value equality, so RunResults compare by content (the parallel
+        # executor's determinism guarantee and the disk cache's round-trip
+        # both rely on it)
+        if not isinstance(other, ProcessorStats):
+            return NotImplemented
+        return self.time == other.time and self.counters == other.counters
+
+    def __repr__(self) -> str:
+        busy = {k: v for k, v in self.time.items() if v}
+        return f"ProcessorStats(time={busy}, counters={self.counters})"
+
     def add(self, category: str, cycles: int) -> None:
         if category not in self.time:
             raise KeyError(f"unknown time category {category!r}")

@@ -10,6 +10,11 @@ Commands
     Sweep one communication parameter for one application.
 ``experiment ID``
     Regenerate one of the paper's tables/figures (or an extension study).
+``cache {stats,clear}``
+    Inspect or purge the persistent run cache (``results/.runcache/``).
+
+``sweep`` and ``experiment`` accept ``--jobs N`` to fan independent
+simulation points across a process pool (0 = all cores).
 """
 
 from __future__ import annotations
@@ -68,15 +73,15 @@ def _experiment_registry() -> Dict[str, Callable]:
         "figure13": figure13_clustering.run,
         "section5-uninode": interrupt_variants.run_uniprocessor_nodes,
         "section5-roundrobin": interrupt_variants.run_round_robin,
-        "section7-attribution": lambda scale=1.0, apps=None: table04_attribution.run(
-            scale=scale
+        "section7-attribution": lambda scale=1.0, apps=None, jobs=None: (
+            table04_attribution.run(scale=scale, jobs=jobs)
         ),
         "section10-processing": protocol_processing.run,
         "section10-multini": multi_ni.run,
         "problem-size": problem_size.run,
         "ablations": ablations.run,
         "breakdowns": breakdowns.run,
-        "microbench": lambda scale=1.0, apps=None: microbench.run(),
+        "microbench": lambda scale=1.0, apps=None, jobs=None: microbench.run(),
     }
 
 
@@ -148,7 +153,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     values = [caster(v) for v in args.values]
     base = _config_from(args)
     results = sweep_comm_param(
-        args.app, args.param, values, base=base, scale=args.scale
+        args.app, args.param, values, base=base, scale=args.scale, jobs=args.jobs
     )
     rows = [[v, round(r.speedup, 2)] for v, r in zip(values, results)]
     print(format_table([args.param, "speedup"], rows, title=f"{args.app} sweep"))
@@ -160,11 +165,37 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.id not in registry:
         print(f"unknown experiment {args.id!r}; see `repro list`", file=sys.stderr)
         return 2
-    kwargs = {"scale": args.scale}
+    kwargs = {"scale": args.scale, "jobs": args.jobs}
     if args.apps:
         kwargs["apps"] = args.apps
     out = registry[args.id](**kwargs)
     print(out.table_str())
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core import runcache
+    from repro.core.sweeps import clear_caches
+
+    cache = runcache.disk_cache()
+    if args.action == "stats":
+        if cache is None:
+            print("disk cache disabled (REPRO_DISK_CACHE=0)")
+            return 0
+        stats = cache.stats()
+        print(f"cache root:    {stats['root']}")
+        print(f"entries:       {stats['entries']}")
+        print(f"size:          {stats['bytes'] / (1 << 20):.2f} MiB")
+        print(f"model version: {stats['model_version']}")
+        return 0
+    # clear
+    if cache is None:
+        clear_caches()
+        print("disk cache disabled; cleared in-memory caches only")
+        return 0
+    removed = cache.clear()
+    clear_caches()
+    print(f"removed {removed} cached run(s) from {cache.root}")
     return 0
 
 
@@ -182,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_comm_options(p_run)
 
     p_sweep = sub.add_parser("sweep", help="sweep one communication parameter")
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep grid (default: REPRO_JOBS or 1; "
+        "0 = all cores)",
+    )
     p_sweep.add_argument("app")
     p_sweep.add_argument(
         "param",
@@ -201,6 +239,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("id")
     p_exp.add_argument("--scale", type=float, default=0.5)
     p_exp.add_argument("--apps", nargs="*", default=None)
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the experiment grid (default: REPRO_JOBS "
+        "or 1; 0 = all cores)",
+    )
+
+    p_cache = sub.add_parser("cache", help="inspect or purge the persistent run cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
 
     return parser
 
@@ -212,6 +260,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "sweep": cmd_sweep,
         "experiment": cmd_experiment,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

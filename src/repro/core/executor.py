@@ -1,0 +1,141 @@
+"""Parallel execution of independent simulation points.
+
+Every experiment in the study is an embarrassingly parallel grid of
+(application, scale, configuration) points.  :func:`run_points` is the
+one entry point: it deduplicates the requested grid, satisfies what it
+can from the in-memory and on-disk caches, fans the remaining misses
+across a ``concurrent.futures`` process pool, and returns results in the
+requested order — bit-identical to a serial run, because each point's
+simulation is deterministic and self-contained.
+
+Worker count resolution (first match wins):
+
+1. the explicit ``jobs=`` argument;
+2. the process-wide default set via :func:`set_default_jobs` (the CLI's
+   ``--jobs`` flag and ``run_all_experiments.py`` use this);
+3. the ``REPRO_JOBS`` environment variable;
+4. serial (1).
+
+``jobs=1`` never touches ``multiprocessing`` — debugging, profiling and
+coverage see a plain in-process loop.  ``jobs=0`` means "all cores".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.core.config import ClusterConfig
+from repro.core.metrics import RunResult
+
+
+class Point(NamedTuple):
+    """One simulation point: which app, at what scale, under which config."""
+
+    app: str
+    scale: float
+    config: ClusterConfig
+
+
+PointLike = Union[Point, Tuple[str, float, ClusterConfig]]
+
+_default_jobs: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` resets to the
+    ``REPRO_JOBS`` / serial fallback)."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else _normalize(jobs)
+
+
+def _normalize(jobs: int) -> int:
+    jobs = int(jobs)
+    if jobs <= 0:  # 0 (or negative) = one worker per core
+        return os.cpu_count() or 1
+    return jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve an effective worker count (see module docstring)."""
+    if jobs is not None:
+        return _normalize(jobs)
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return _normalize(int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def _compute_point(point: Point) -> RunResult:
+    """Pool worker: simulate one point (module-level for picklability).
+
+    Delegates to :func:`repro.core.sweeps.cached_run`, so a long-lived
+    worker process reuses traces across the points it is handed and
+    writes each fresh result straight into the shared disk cache.
+    """
+    from repro.core import sweeps
+
+    return sweeps.cached_run(point.app, point.scale, point.config)
+
+
+def run_points(
+    points: Iterable[PointLike], jobs: Optional[int] = None
+) -> List[RunResult]:
+    """Run (or fetch) every point, in parallel, preserving input order.
+
+    Duplicate points are simulated once.  Results are also installed in
+    the in-memory run cache, so subsequent :func:`~repro.core.sweeps.
+    cached_run` calls for the same points are hits.
+    """
+    from repro.core import sweeps
+
+    ordered: List[Point] = [Point(*p) for p in points]
+    unique: List[Point] = []
+    seen = set()
+    for p in ordered:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+
+    # Satisfy what we can from the layered caches (memory, then disk).
+    resolved = {}
+    misses: List[Point] = []
+    for p in unique:
+        hit = sweeps.cached_lookup(p.app, p.scale, p.config)
+        if hit is not None:
+            resolved[p] = hit
+        else:
+            misses.append(p)
+
+    n_jobs = resolve_jobs(jobs)
+    if misses:
+        if n_jobs <= 1 or len(misses) == 1:
+            for p in misses:
+                resolved[p] = _compute_point(p)
+        else:
+            resolved.update(_map_parallel(misses, n_jobs))
+            # install in this process's caches so later serial calls hit
+            for p in misses:
+                sweeps.cache_store(p.app, p.scale, p.config, resolved[p])
+    return [resolved[p] for p in ordered]
+
+
+def _map_parallel(misses: Sequence[Point], n_jobs: int) -> dict:
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(n_jobs, len(misses))
+    chunksize = max(1, len(misses) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(_compute_point, misses, chunksize=chunksize))
+    return dict(zip(misses, results))
+
+
+def prefetch(points: Iterable[PointLike], jobs: Optional[int] = None) -> None:
+    """Warm the caches for a grid of points (sugar over :func:`run_points`
+    for drivers that keep their own result-collection loops)."""
+    run_points(points, jobs=jobs)

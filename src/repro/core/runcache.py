@@ -1,0 +1,185 @@
+"""Persistent on-disk run cache.
+
+Every (application, scale, configuration) point is deterministic, so its
+:class:`~repro.core.metrics.RunResult` can be memoized *across* processes
+and invocations — the expensive full-grid regenerations share one cache
+on disk, layered *under* the in-memory dicts in :mod:`repro.core.sweeps`.
+
+Keys are a SHA-256 content hash over the application name, the problem
+scale, the RNG seed, the full :class:`~repro.core.config.ClusterConfig`
+(architecture *and* communication parameters), and :data:`MODEL_VERSION`.
+Records are single pickle files under the cache root (default
+``results/.runcache/``; override with ``REPRO_CACHE_DIR``; disable the
+whole layer with ``REPRO_DISK_CACHE=0``).
+
+**Cache-coherence rule:** the cache cannot observe changes to the
+simulator's cost model, only to the configuration.  Whenever a change
+alters what a simulation *returns* for the same configuration — a cost
+constant, a protocol fix, a new time category — bump :data:`MODEL_VERSION`
+so every stale entry misses.  ``python -m repro cache clear`` purges the
+directory outright.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import ClusterConfig
+    from repro.core.metrics import RunResult
+
+#: bump on ANY change that alters simulation results for a fixed config
+#: (cost-model constants, protocol behaviour, metrics definitions).
+MODEL_VERSION = 1
+
+#: on-disk record layout version (the pickle envelope, not the model)
+_FORMAT_VERSION = 1
+
+_MAGIC = "repro-runcache"
+
+DEFAULT_CACHE_DIR = os.path.join("results", ".runcache")
+
+
+def content_key(app: str, scale: float, config: "ClusterConfig") -> str:
+    """Stable content hash identifying one simulation point.
+
+    The hash covers everything that determines the result — app name,
+    scale, seed, and every field of the config (nested ``ArchParams`` and
+    ``CommParams`` included) — plus :data:`MODEL_VERSION`.  It is stable
+    across processes and Python invocations (no reliance on ``hash()``).
+    """
+    payload = {
+        "model_version": MODEL_VERSION,
+        "app": app,
+        "scale": repr(float(scale)),
+        "seed": config.seed,
+        "config": dataclasses.asdict(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A directory of pickled :class:`RunResult` records keyed by content hash.
+
+    Writes are atomic (temp file + ``os.replace``) so concurrent workers
+    racing on the same point cannot leave a torn record; unreadable or
+    stale-format records are treated as misses.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional["RunResult"]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                record = pickle.load(fh)
+        except OSError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unpickling arbitrary corrupt bytes can raise nearly anything
+            # (UnpicklingError, EOFError, ValueError, AttributeError,
+            # ImportError...); any unreadable record is simply a miss.
+            self.misses += 1
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("magic") != _MAGIC
+            or record.get("format") != _FORMAT_VERSION
+            or record.get("model_version") != MODEL_VERSION
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["result"]
+
+    def put(self, key: str, result: "RunResult") -> None:
+        record = {
+            "magic": _MAGIC,
+            "format": _FORMAT_VERSION,
+            "model_version": MODEL_VERSION,
+            "app": result.app_name,
+            "result": result,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> list:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def stats(self) -> Dict[str, object]:
+        files = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(files),
+            "bytes": sum(p.stat().st_size for p in files),
+            "model_version": MODEL_VERSION,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every record (and stray temp file); returns count removed."""
+        removed = 0
+        if self.root.is_dir():
+            for p in list(self.root.glob("*.pkl")) + list(self.root.glob("*.tmp")):
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# --------------------------------------------------------------------- #
+# process-wide default cache, configured from the environment
+# --------------------------------------------------------------------- #
+_disk_cache: Optional[DiskCache] = None
+_configured = False
+
+
+def disk_cache() -> Optional[DiskCache]:
+    """The process-wide cache, or ``None`` when ``REPRO_DISK_CACHE=0``."""
+    global _disk_cache, _configured
+    if not _configured:
+        if os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "false", "no"):
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+            _disk_cache = DiskCache(root)
+        else:
+            _disk_cache = None
+        _configured = True
+    return _disk_cache
+
+
+def reset_disk_cache() -> None:
+    """Forget the configured cache so the next use re-reads the environment
+    (tests point ``REPRO_CACHE_DIR`` at a temp dir and call this)."""
+    global _disk_cache, _configured
+    _disk_cache = None
+    _configured = False

@@ -24,13 +24,18 @@ from typing import Iterable, Optional
 
 from repro.arch.params import ArchParams
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 
 DEFAULT_ABLATION_APPS = ("fft", "lu", "raytrace")
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     names = list(apps) if apps is not None else list(DEFAULT_ABLATION_APPS)
     rows = []
     data = {}
@@ -42,6 +47,23 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
     base_arch = ArchParams()
     saf_arch = dataclasses.replace(base_arch, model_cut_through=False)
     nogate_arch = dataclasses.replace(base_arch, model_rx_gate=False)
+
+    grid = [
+        (ArchParams(), {}),
+        (saf_arch, {}),
+        (base_arch, {"io_bus_mb_per_mhz": 0.25}),
+        (saf_arch, {"io_bus_mb_per_mhz": 0.25}),
+        (base_arch, {"interrupt_cost": 10000}),
+        (nogate_arch, {"interrupt_cost": 10000}),
+    ]
+    prefetch(
+        [
+            (name, scale, ClusterConfig(arch=arch).with_comm(**comm_kw))
+            for name in names
+            for arch, comm_kw in grid
+        ],
+        jobs=jobs,
+    )
 
     for name in names:
         entry = {

@@ -13,15 +13,22 @@ from typing import Iterable, Optional
 
 from repro.arch.processor import TIME_CATEGORIES
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     config = ClusterConfig()
+    names = pick_apps(apps)
+    prefetch([(name, scale, config) for name in names], jobs=jobs)
     rows = []
     data = {}
-    for name in pick_apps(apps):
+    for name in names:
         r = cached_run(name, scale, config)
         fractions = r.breakdown_fractions()
         data[name] = fractions

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
 
@@ -52,11 +53,25 @@ def _correlation_experiment(
     scale: float,
     apps: Optional[Iterable[str]],
     notes: str,
+    jobs: Optional[int] = None,
 ) -> ExperimentOutput:
     base = ClusterConfig()
+    names = pick_apps(apps)
+    prefetch(
+        [
+            (name, scale, cfg)
+            for name in names
+            for cfg in (
+                base.with_comm(**{param: lo}),
+                base.with_comm(**{param: hi}),
+                base,
+            )
+        ],
+        jobs=jobs,
+    )
     slowdowns: Dict[str, float] = {}
     metrics: Dict[str, float] = {}
-    for name in pick_apps(apps):
+    for name in names:
         fast = cached_run(name, scale, base.with_comm(**{param: lo}))
         slow = cached_run(name, scale, base.with_comm(**{param: hi}))
         baseline = cached_run(name, scale, base)
@@ -84,7 +99,9 @@ def _correlation_experiment(
 
 
 def run_host_vs_messages(
-    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentOutput:
     """Figure 5b: host-overhead slowdown tracks messages sent."""
     return _correlation_experiment(
@@ -99,11 +116,14 @@ def run_host_vs_messages(
         apps,
         "Paper shape: applications that send more messages depend more on "
         "host overhead.",
+        jobs=jobs,
     )
 
 
 def run_bandwidth_vs_bytes(
-    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentOutput:
     """Figure 8: I/O-bandwidth slowdown tracks bytes sent."""
     return _correlation_experiment(
@@ -118,11 +138,14 @@ def run_bandwidth_vs_bytes(
         apps,
         "Paper shape: applications that exchange a lot of data — not "
         "necessarily many messages — need higher bandwidth.",
+        jobs=jobs,
     )
 
 
 def run_interrupt_vs_fetches(
-    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentOutput:
     """Figure 10: interrupt-cost slowdown tracks page fetches + remote
     lock acquires (the interrupt-raising events)."""
@@ -139,4 +162,5 @@ def run_interrupt_vs_fetches(
         apps,
         "Paper shape: interrupt-cost slowdown is closely related to the "
         "number of protocol events that cause interrupts.",
+        jobs=jobs,
     )

@@ -11,15 +11,22 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     config = ClusterConfig()
+    names = pick_apps(apps)
+    prefetch([(name, scale, config) for name in names], jobs=jobs)
     rows = []
     data = {}
-    for name in pick_apps(apps):
+    for name in names:
         r = cached_run(name, scale, config)
         rows.append([name, round(r.ideal_speedup, 2), round(r.speedup, 2)])
         data[name] = {"ideal": r.ideal_speedup, "achievable": r.speedup}

@@ -7,14 +7,28 @@ from typing import Iterable, Optional
 
 from repro.arch.params import TABLE2_CLUSTERINGS
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
+    names = pick_apps(apps)
+    prefetch(
+        [
+            (name, scale, ClusterConfig().with_comm(procs_per_node=ppn))
+            for name in names
+            for ppn in TABLE2_CLUSTERINGS
+        ],
+        jobs=jobs,
+    )
     rows = []
     data = {}
-    for name in pick_apps(apps):
+    for name in names:
         series = {}
         for ppn in TABLE2_CLUSTERINGS:
             r = cached_run(name, scale, ClusterConfig().with_comm(procs_per_node=ppn))

@@ -9,7 +9,11 @@ from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 from repro.experiments.param_sweeps import sweep_figure
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     return sweep_figure(
         "figure05",
         "Speedup vs host overhead (cycles per message send)",
@@ -17,6 +21,7 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
         HOST_OVERHEAD_SWEEP,
         scale=scale,
         apps=apps,
+        jobs=jobs,
         notes=(
             "Paper shape: slowdown is generally low for realistic asynchronous-"
             "send overheads, and tracks the number of messages sent (Fig 5b); "

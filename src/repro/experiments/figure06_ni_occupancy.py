@@ -9,7 +9,11 @@ from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 from repro.experiments.param_sweeps import sweep_figure
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     return sweep_figure(
         "figure06",
         "Speedup vs network-interface occupancy per packet (HLRC)",
@@ -17,6 +21,7 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
         NI_OCCUPANCY_SWEEP,
         scale=scale,
         apps=apps,
+        jobs=jobs,
         notes=(
             "Paper shape: even smaller effect than host overhead; only the "
             "highest-message-count applications react at extreme occupancies."

@@ -9,7 +9,11 @@ from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 from repro.experiments.param_sweeps import sweep_figure
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     return sweep_figure(
         "figure07",
         "Speedup vs I/O-bus bandwidth (MB per processor-clock MHz)",
@@ -17,6 +21,7 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
         IO_BANDWIDTH_SWEEP,
         scale=scale,
         apps=apps,
+        jobs=jobs,
         value_labels=[f"{v} MB/MHz" for v in IO_BANDWIDTH_SWEEP],
         notes=(
             "Paper shape: reducing bandwidth hurts substantially, but only "

@@ -9,7 +9,11 @@ from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 from repro.experiments.param_sweeps import sweep_figure
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     return sweep_figure(
         "figure09",
         "Speedup vs interrupt cost (cycles per side; null = 2x)",
@@ -17,6 +21,7 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
         INTERRUPT_COST_SWEEP,
         scale=scale,
         apps=apps,
+        jobs=jobs,
         notes=(
             "Paper shape: the dominant parameter — costs up to ~500-1000 per "
             "side hurt little, beyond that every application degrades sharply "

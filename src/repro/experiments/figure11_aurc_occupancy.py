@@ -17,7 +17,11 @@ from repro.experiments.param_sweeps import sweep_figure
 DEFAULT_AURC_APPS = ("lu", "ocean", "water-nsq", "barnes-rebuild")
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     return sweep_figure(
         "figure11",
         "Speedup vs NI occupancy per packet (AURC)",
@@ -26,6 +30,7 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
         scale=scale,
         apps=apps if apps is not None else DEFAULT_AURC_APPS,
         protocol="aurc",
+        jobs=jobs,
         notes=(
             "Paper shape: NI occupancy is much more important under AURC than "
             "under HLRC because updates are sent at fine granularity and may "

@@ -13,7 +13,11 @@ from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 from repro.experiments.param_sweeps import sweep_figure
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     return sweep_figure(
         "figure12",
         "Speedup vs page size",
@@ -21,6 +25,7 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
         PAGE_SIZE_SWEEP,
         scale=scale,
         apps=apps,
+        jobs=jobs,
         value_labels=[f"{v // 1024}KB" for v in PAGE_SIZE_SWEEP],
         notes=(
             "Paper shape: effects vary a lot; most applications favour "

@@ -14,7 +14,11 @@ from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 from repro.experiments.param_sweeps import sweep_figure
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     return sweep_figure(
         "figure13",
         "Speedup vs processors per node (16 processors total)",
@@ -22,6 +26,7 @@ def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> E
         PROCS_PER_NODE_SWEEP,
         scale=scale,
         apps=apps,
+        jobs=jobs,
         value_labels=[f"{v}/node" for v in PROCS_PER_NODE_SWEEP],
         notes=(
             "Paper shape: clustering helps most applications (sharing and "

@@ -16,6 +16,7 @@ from typing import Iterable, Optional
 
 from repro.arch.params import INTERRUPT_COST_SWEEP
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
 
@@ -24,11 +25,21 @@ DEFAULT_VARIANT_APPS = ("fft", "water-nsq", "raytrace", "barnes-rebuild")
 
 
 def run_uniprocessor_nodes(
-    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentOutput:
     rows = []
     data = {}
     names = list(apps) if apps is not None else list(DEFAULT_VARIANT_APPS)
+    prefetch(
+        [
+            (name, scale, ClusterConfig().with_comm(procs_per_node=1, interrupt_cost=cost))
+            for name in names
+            for cost in INTERRUPT_COST_SWEEP
+        ],
+        jobs=jobs,
+    )
     for name in names:
         speedups = []
         for cost in INTERRUPT_COST_SWEEP:
@@ -52,11 +63,27 @@ def run_uniprocessor_nodes(
 
 
 def run_round_robin(
-    scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentOutput:
     rows = []
     data = {}
     names = list(apps) if apps is not None else list(DEFAULT_VARIANT_APPS)
+    prefetch(
+        [
+            (name, scale, cfg)
+            for name in names
+            for cost in INTERRUPT_COST_SWEEP
+            for cfg in (
+                ClusterConfig().with_comm(interrupt_cost=cost),
+                ClusterConfig().with_comm(
+                    interrupt_cost=cost, interrupt_scheme="round_robin"
+                ),
+            )
+        ],
+        jobs=jobs,
+    )
     for name in names:
         fixed, rr = [], []
         for cost in INTERRUPT_COST_SWEEP:

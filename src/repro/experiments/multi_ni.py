@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 
@@ -24,8 +25,21 @@ NI_COUNTS = (1, 2, 4)
 DEFAULT_APPS = ("fft", "radix", "lu", "water-sp", "barnes-rebuild")
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     names = list(apps) if apps is not None else list(DEFAULT_APPS)
+    prefetch(
+        [
+            (name, scale, ClusterConfig().with_comm(nis_per_node=k, io_bus_mb_per_mhz=bw))
+            for name in names
+            for bw in (0.5, 0.25)
+            for k in NI_COUNTS
+        ],
+        jobs=jobs,
+    )
     rows = []
     data = {}
     for name in names:

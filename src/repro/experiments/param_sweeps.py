@@ -1,14 +1,16 @@
 """Shared machinery for the parameter-sweep figures (5, 6, 7, 9, 11).
 
 Each figure plots per-application speedup against one communication
-parameter, all other parameters held at their achievable values."""
+parameter, all other parameters held at their achievable values.  The
+whole (app x value) grid is fanned out through the parallel executor
+before the table is assembled."""
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.config import ClusterConfig
-from repro.core.sweeps import cached_run
+from repro.core.executor import run_points
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
 
 
@@ -22,16 +24,19 @@ def sweep_figure(
     protocol: str = "hlrc",
     notes: str = "",
     value_labels: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentOutput:
     base = ClusterConfig(protocol=protocol)
     labels = value_labels or [str(v) for v in values]
+    names = pick_apps(apps)
+    grid = [
+        (name, scale, base.with_comm(**{param: v})) for name in names for v in values
+    ]
+    results = iter(run_points(grid, jobs=jobs))
     rows = []
     data = {}
-    for name in pick_apps(apps):
-        speedups = []
-        for v in values:
-            r = cached_run(name, scale, base.with_comm(**{param: v}))
-            speedups.append(r.speedup)
+    for name in names:
+        speedups = [next(results).speedup for _ in values]
         data[name] = dict(zip(labels, speedups))
         slowdown = (speedups[0] - speedups[-1]) / speedups[0]
         rows.append([name] + [round(s, 2) for s in speedups] + [f"{slowdown * 100:+.1f}%"])

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import ExperimentOutput
 
@@ -21,11 +22,18 @@ SCALES = (0.25, 0.5, 1.0, 2.0)
 DEFAULT_APPS = ("fft", "lu", "water-nsq", "radix")
 
 
-def run(scale: float = 1.0, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = 1.0,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     """`scale` acts as a multiplier on the sweep (pass 0.5 to halve every
     point, keeping the study affordable in benchmarks)."""
     names = list(apps) if apps is not None else list(DEFAULT_APPS)
     config = ClusterConfig()
+    prefetch(
+        [(name, s * scale, config) for name in names for s in SCALES], jobs=jobs
+    )
     rows = []
     data = {}
     for name in names:

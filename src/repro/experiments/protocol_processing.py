@@ -29,6 +29,7 @@ from typing import Iterable, Optional
 
 from repro.apps import get_app
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.run import run_simulation
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
@@ -37,8 +38,21 @@ SWEEP = (0, 500, 2000, 10000)
 DEFAULT_APPS = ("fft", "water-nsq", "barnes-rebuild")
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     names = list(apps) if apps is not None else list(DEFAULT_APPS)
+    prefetch(
+        [
+            (name, scale, ClusterConfig().with_comm(protocol_processing=mode, interrupt_cost=cost))
+            for name in names
+            for mode in ("interrupt", "polling-dedicated", "ni-offload")
+            for cost in SWEEP
+        ],
+        jobs=jobs,
+    )
     rows = []
     data = {}
     for name in names:

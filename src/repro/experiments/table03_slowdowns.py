@@ -19,6 +19,7 @@ from repro.arch.params import (
     PROCS_PER_NODE_SWEEP,
 )
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.reporting import format_percent
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
@@ -43,11 +44,25 @@ COLUMNS = [
 ]
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     base = ClusterConfig()
+    names = pick_apps(apps)
+    prefetch(
+        [
+            (name, scale, base.with_comm(**{param: v}))
+            for name in names
+            for param, _label in COLUMNS
+            for v in PARAM_ENDPOINTS[param]
+        ],
+        jobs=jobs,
+    )
     rows = []
     data = {}
-    for name in pick_apps(apps):
+    for name in names:
         entry = {}
         row = [name]
         for param, _label in COLUMNS:

@@ -15,13 +15,16 @@ targeted experiments; we reproduce the headline ones:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.arch.params import BEST
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput
 
 
-def run(scale: float = DEFAULT_SCALE) -> ExperimentOutput:
+def run(scale: float = DEFAULT_SCALE, jobs: Optional[int] = None) -> ExperimentOutput:
     rows = []
     data = {}
 
@@ -32,6 +35,29 @@ def run(scale: float = DEFAULT_SCALE) -> ExperimentOutput:
         return s
 
     base = ClusterConfig()
+    lockish = ("barnes-rebuild", "water-nsq", "volrend")
+    prefetch(
+        [
+            ("fft", scale, base),
+            ("fft", scale, base.with_comm(interrupt_cost=0)),
+            ("fft", scale, base.with_comm(io_bus_mb_per_mhz=2.0)),
+            ("fft", scale, base.with_comm(interrupt_cost=0, io_bus_mb_per_mhz=2.0)),
+            ("fft", scale, ClusterConfig(comm=BEST)),
+            ("radix", scale, base),
+            ("radix", scale, base.with_comm(io_bus_mb_per_mhz=2.0)),
+            ("radix", scale, ClusterConfig(comm=BEST)),
+        ]
+        + [
+            (app, scale, cfg)
+            for app in lockish
+            for cfg in (
+                base,
+                base.replace(free_page_fetches=True),
+                ClusterConfig(comm=BEST, free_page_fetches=True),
+            )
+        ],
+        jobs=jobs,
+    )
     # --- FFT: interrupts + bandwidth ---
     point("fft", "achievable", base)
     point("fft", "interrupts=0", base.with_comm(interrupt_cost=0))

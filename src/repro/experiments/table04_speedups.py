@@ -10,16 +10,26 @@ from typing import Iterable, Optional
 
 from repro.arch.params import BEST
 from repro.core.config import ClusterConfig
+from repro.core.executor import prefetch
 from repro.core.sweeps import cached_run
 from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
 
 
-def run(scale: float = DEFAULT_SCALE, apps: Optional[Iterable[str]] = None) -> ExperimentOutput:
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
     achievable_cfg = ClusterConfig()
     best_cfg = ClusterConfig(comm=BEST)
+    names = pick_apps(apps)
+    prefetch(
+        [(name, scale, cfg) for name in names for cfg in (achievable_cfg, best_cfg)],
+        jobs=jobs,
+    )
     rows = []
     data = {}
-    for name in pick_apps(apps):
+    for name in names:
         r_ach = cached_run(name, scale, achievable_cfg)
         r_best = cached_run(name, scale, best_cfg)
         data[name] = {
