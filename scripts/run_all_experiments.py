@@ -39,6 +39,7 @@ from repro.experiments import (
     multi_ni,
     problem_size,
     protocol_processing,
+    reliability,
     table02_events,
     table03_slowdowns,
     table04_attribution,
@@ -68,6 +69,7 @@ DRIVERS = [
     ("section10-processing", lambda s: protocol_processing.run(scale=s)),
     ("section10-multini", lambda s: multi_ni.run(scale=s)),
     ("problem-size", lambda s: problem_size.run(scale=s)),
+    ("reliability", lambda s: reliability.run(scale=s)),
     ("ablations", lambda s: ablations.run(scale=s)),
     ("breakdowns", lambda s: breakdowns.run(scale=s)),
     ("microbench", lambda s: microbench.run()),

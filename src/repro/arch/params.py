@@ -98,6 +98,60 @@ class ArchParams:
     #: for the interrupt-signalling time, delaying later arrivals
     model_rx_gate: bool = True
 
+    #: fields that must be strictly positive for the machine to make sense
+    _POSITIVE_FIELDS = (
+        "cpu_mhz",
+        "ipc",
+        "l1_bytes",
+        "l1_assoc",
+        "l2_bytes",
+        "l2_assoc",
+        "line_bytes",
+        "wb_entries",
+        "membus_bytes_per_cycle",
+        "link_bytes_per_cycle",
+        "ni_queue_bytes",
+        "packet_mtu",
+        "word_bytes",
+    )
+    #: cycle/count fields that may be zero but never negative
+    _NON_NEGATIVE_FIELDS = (
+        "l1_hit_cycles",
+        "l2_hit_cycles",
+        "mem_latency_cycles",
+        "wb_retire_at",
+        "wb_full_stall_cycles",
+        "membus_arb_cycles",
+        "link_latency_cycles",
+        "packet_header_bytes",
+        "tlb_kernel_cycles",
+        "handler_base_cycles",
+        "diff_compare_cycles_per_word",
+        "diff_include_cycles_per_word",
+        "twin_copy_cycles_per_word",
+        "smp_sync_cycles",
+        "page_invalidate_cycles",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._POSITIVE_FIELDS:
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"ArchParams.{name} must be > 0, got {value!r}")
+        for name in self._NON_NEGATIVE_FIELDS:
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"ArchParams.{name} must be >= 0, got {value!r}")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(
+                f"ArchParams.line_bytes must be a power of two, got {self.line_bytes}"
+            )
+        if self.wb_retire_at > self.wb_entries:
+            raise ValueError(
+                f"ArchParams.wb_retire_at ({self.wb_retire_at}) cannot exceed "
+                f"wb_entries ({self.wb_entries})"
+            )
+
     @property
     def page_copy_cycles(self) -> int:  # pragma: no cover - convenience
         """Deprecated convenience; prefer explicit page-size math."""
@@ -152,14 +206,24 @@ class CommParams:
     nis_per_node: int = 1
 
     def __post_init__(self) -> None:
-        if self.host_overhead < 0 or self.ni_occupancy < 0 or self.interrupt_cost < 0:
-            raise ValueError("cycle costs must be non-negative")
+        for name in ("host_overhead", "ni_occupancy", "interrupt_cost"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"CommParams.{name} must be >= 0, got {value!r}")
         if self.io_bus_mb_per_mhz <= 0:
-            raise ValueError("I/O bus bandwidth must be positive")
+            raise ValueError(
+                f"CommParams.io_bus_mb_per_mhz must be > 0, got "
+                f"{self.io_bus_mb_per_mhz!r}"
+            )
         if self.page_size < 512 or self.page_size & (self.page_size - 1):
-            raise ValueError("page size must be a power of two >= 512")
+            raise ValueError(
+                f"CommParams.page_size must be a power of two >= 512, got "
+                f"{self.page_size!r}"
+            )
         if self.procs_per_node < 1:
-            raise ValueError("procs_per_node must be >= 1")
+            raise ValueError(
+                f"CommParams.procs_per_node must be >= 1, got {self.procs_per_node!r}"
+            )
         if self.interrupt_scheme not in ("fixed", "round_robin"):
             raise ValueError(f"unknown interrupt scheme {self.interrupt_scheme!r}")
         if self.protocol_processing not in (

@@ -48,6 +48,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         multi_ni,
         problem_size,
         protocol_processing,
+        reliability,
         table02_events,
         table03_slowdowns,
         table04_attribution,
@@ -79,10 +80,65 @@ def _experiment_registry() -> Dict[str, Callable]:
         "section10-processing": protocol_processing.run,
         "section10-multini": multi_ni.run,
         "problem-size": problem_size.run,
+        "reliability": reliability.run,
         "ablations": ablations.run,
         "breakdowns": breakdowns.run,
         "microbench": lambda scale=1.0, apps=None, jobs=None: microbench.run(),
     }
+
+
+def _jobs_type(text: str) -> int:
+    """Parse ``--jobs``: a non-negative integer (0 = all cores)."""
+    try:
+        jobs = int(text)
+        if jobs < 0:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --jobs value {text!r}: expected a non-negative integer "
+            "(0 = all cores)"
+        ) from None
+    return jobs
+
+
+def _probability(text: str) -> float:
+    try:
+        p = float(text)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid probability {text!r}: expected a number in [0, 1]"
+        ) from None
+    return p
+
+
+def _add_jobs_option(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=None,
+        help=f"worker processes for the {what} grid (default: REPRO_JOBS or 1; "
+        "0 = all cores)",
+    )
+
+
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group(
+        "fault injection", "wire-level faults + reliable-delivery knobs"
+    )
+    g.add_argument("--drop-prob", type=_probability, default=0.0,
+                   help="per-message drop probability")
+    g.add_argument("--dup-prob", type=_probability, default=0.0,
+                   help="per-message duplication probability")
+    g.add_argument("--delay-spike-prob", type=_probability, default=0.0,
+                   help="per-message delay-spike probability")
+    g.add_argument("--fault-seed", type=int, default=7,
+                   help="RNG seed for the fault injector")
+    g.add_argument("--retry-timeout", type=int, default=100_000,
+                   help="cycles before a missing deposit triggers retransmit")
+    g.add_argument("--max-retries", type=int, default=16,
+                   help="retransmit budget before the run aborts")
 
 
 def _add_comm_options(parser: argparse.ArgumentParser) -> None:
@@ -103,7 +159,19 @@ def _add_comm_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from(args: argparse.Namespace) -> ClusterConfig:
-    return ClusterConfig(protocol=args.protocol, seed=args.seed).with_comm(
+    from repro.net.faults import FaultParams
+
+    faults = FaultParams(
+        drop_prob=getattr(args, "drop_prob", 0.0),
+        dup_prob=getattr(args, "dup_prob", 0.0),
+        delay_spike_prob=getattr(args, "delay_spike_prob", 0.0),
+        fault_seed=getattr(args, "fault_seed", 7),
+        retry_timeout=getattr(args, "retry_timeout", 100_000),
+        max_retries=getattr(args, "max_retries", 16),
+    )
+    return ClusterConfig(
+        protocol=args.protocol, seed=args.seed, faults=faults
+    ).with_comm(
         procs_per_node=args.procs_per_node,
         page_size=args.page_size,
         host_overhead=args.host_overhead,
@@ -124,9 +192,28 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _casts(caster: Callable, text: str) -> bool:
+    try:
+        caster(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _check_app(app: str) -> Optional[str]:
+    """One-line error message for an unknown application, else ``None``."""
+    if app in APP_ORDER:
+        return None
+    return (
+        f"unknown application {app!r} "
+        f"(valid: {', '.join(app_names())})"
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    if args.app not in APP_ORDER:
-        print(f"unknown application {args.app!r}; see `repro list`", file=sys.stderr)
+    err = _check_app(args.app)
+    if err:
+        print(f"error: {err}", file=sys.stderr)
         return 2
     config = _config_from(args)
     app = get_app(
@@ -149,8 +236,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweeps import sweep_comm_param
 
+    err = _check_app(args.app)
+    if err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     caster = float if args.param == "io_bus_mb_per_mhz" else int
-    values = [caster(v) for v in args.values]
+    try:
+        values = [caster(v) for v in args.values]
+    except ValueError:
+        bad = next(v for v in args.values if not _casts(caster, v))
+        print(
+            f"error: invalid {args.param} value {bad!r}: "
+            f"expected {'a number' if caster is float else 'an integer'}",
+            file=sys.stderr,
+        )
+        return 2
     base = _config_from(args)
     results = sweep_comm_param(
         args.app, args.param, values, base=base, scale=args.scale, jobs=args.jobs
@@ -211,15 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one application")
     p_run.add_argument("app")
     _add_comm_options(p_run)
+    _add_fault_options(p_run)
 
     p_sweep = sub.add_parser("sweep", help="sweep one communication parameter")
-    p_sweep.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for the sweep grid (default: REPRO_JOBS or 1; "
-        "0 = all cores)",
-    )
+    _add_jobs_option(p_sweep, "sweep")
     p_sweep.add_argument("app")
     p_sweep.add_argument(
         "param",
@@ -234,18 +329,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("values", nargs="+")
     _add_comm_options(p_sweep)
+    _add_fault_options(p_sweep)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("id")
     p_exp.add_argument("--scale", type=float, default=0.5)
     p_exp.add_argument("--apps", nargs="*", default=None)
-    p_exp.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for the experiment grid (default: REPRO_JOBS "
-        "or 1; 0 = all cores)",
-    )
+    _add_jobs_option(p_exp, "experiment")
 
     p_cache = sub.add_parser("cache", help="inspect or purge the persistent run cache")
     p_cache.add_argument("action", choices=("stats", "clear"))
@@ -262,7 +352,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": cmd_experiment,
         "cache": cmd_cache,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ValueError as exc:
+        # Bad parameter combinations (config validation, sweep values…)
+        # are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.arch.membus import MemoryBus
 from repro.arch.processor import Processor
 from repro.core.config import ClusterConfig
+from repro.net.faults import FaultInjector
 from repro.net.iobus import IOBus
 from repro.net.link import Network
 from repro.net.messaging import MessagingLayer
@@ -26,7 +27,7 @@ from repro.osys.interrupts import InterruptController
 from repro.osys.vm import PageDirectory
 from repro.protocol import PROTOCOLS
 from repro.protocol.base import ProtocolContext
-from repro.sim.engine import Simulator
+from repro.sim.engine import DEFAULT_LIVELOCK_EVENTS, Simulator, Watchdog
 
 
 class Node:
@@ -38,6 +39,7 @@ class Node:
         node_id: int,
         config: ClusterConfig,
         network: Network,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         arch, comm = config.arch, config.comm
         self.sim = sim
@@ -73,6 +75,7 @@ class Node:
                 iobus,
                 network,
                 register=(comm.nis_per_node == 1),
+                faults=faults,
             )
             for iobus in self.iobuses
         ]
@@ -140,17 +143,38 @@ class Cluster:
 
     def __init__(self, config: ClusterConfig, sim: Optional[Simulator] = None) -> None:
         self.config = config
-        self.sim = sim if sim is not None else Simulator()
+        #: shared wire-fault source (None when config.faults is all-off)
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(config.faults) if config.faults.enabled else None
+        )
+        if sim is None:
+            # Deadlock detection is free (one scan when the heap drains)
+            # so it is always on; livelock counting forces the general
+            # dispatch loop, so it is armed only when faults can cause
+            # retry storms that might spin.
+            watchdog = Watchdog(
+                deadlock=True,
+                livelock_events=(
+                    DEFAULT_LIVELOCK_EVENTS if self.fault_injector else None
+                ),
+            )
+            sim = Simulator(watchdog=watchdog)
+        self.sim = sim
         arch, comm = config.arch, config.comm
         self.network = Network(
             self.sim, arch.link_bytes_per_cycle, arch.link_latency_cycles
         )
         self.nodes: List[Node] = [
-            Node(self.sim, i, config, self.network) for i in range(config.n_nodes)
+            Node(self.sim, i, config, self.network, faults=self.fault_injector)
+            for i in range(config.n_nodes)
         ]
         self.procs: List[Processor] = [cpu for node in self.nodes for cpu in node.cpus]
         self.msg = MessagingLayer(
-            self.sim, arch, comm, {n.node_id: n.nic for n in self.nodes}
+            self.sim,
+            arch,
+            comm,
+            {n.node_id: n.nic for n in self.nodes},
+            faults=config.faults,
         )
         self.directory = PageDirectory(
             comm.page_size, config.n_nodes, policy=config.home_policy

@@ -12,6 +12,8 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.arch.params import ACHIEVABLE, ArchParams, CommParams
+from repro.net.faults import FaultParams
+from repro.osys.vm import PageDirectory
 
 
 @dataclass(frozen=True)
@@ -32,10 +34,17 @@ class ClusterConfig:
     #: experiments: make every remote page fetch free (all faults appear
     #: local), isolating fetch cost from the other overheads
     free_page_fetches: bool = False
+    #: wire-level fault injection + recovery knobs (all off by default;
+    #: see repro.net.faults)
+    faults: FaultParams = field(default_factory=FaultParams)
 
     def __post_init__(self) -> None:
         if self.protocol not in ("hlrc", "aurc"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
+        if not isinstance(self.total_procs, int) or isinstance(self.total_procs, bool):
+            raise ValueError(
+                f"total_procs must be an integer, got {self.total_procs!r}"
+            )
         if self.total_procs < 1:
             raise ValueError("total_procs must be >= 1")
         if self.total_procs % self.comm.procs_per_node:
@@ -43,6 +52,17 @@ class ClusterConfig:
                 f"total_procs {self.total_procs} not divisible by "
                 f"procs_per_node {self.comm.procs_per_node}"
             )
+        if self.home_policy not in PageDirectory.POLICIES:
+            raise ValueError(
+                f"unknown home_policy {self.home_policy!r} "
+                f"(valid: {', '.join(PageDirectory.POLICIES)})"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if not isinstance(self.faults, FaultParams):
+            raise ValueError(f"faults must be a FaultParams, got {self.faults!r}")
 
     @property
     def n_nodes(self) -> int:
@@ -51,6 +71,10 @@ class ClusterConfig:
     def with_comm(self, **kw) -> "ClusterConfig":
         """New config with updated communication parameters."""
         return dataclasses.replace(self, comm=self.comm.replace(**kw))
+
+    def with_faults(self, **kw) -> "ClusterConfig":
+        """New config with updated fault-injection parameters."""
+        return dataclasses.replace(self, faults=self.faults.replace(**kw))
 
     def replace(self, **kw) -> "ClusterConfig":
         return dataclasses.replace(self, **kw)

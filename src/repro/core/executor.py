@@ -18,12 +18,38 @@ Worker count resolution (first match wins):
 
 ``jobs=1`` never touches ``multiprocessing`` — debugging, profiling and
 coverage see a plain in-process loop.  ``jobs=0`` means "all cores".
+
+Failure handling
+----------------
+A grid run is an hour of work; one poisoned point must not discard the
+other 99.  Every point is submitted individually and its exception is
+captured *per point* (inside the worker when possible, around the future
+otherwise, so even a crashed worker process only poisons its own point).
+Failed points are retried ``retries`` times (default 1, override with
+``REPRO_POINT_RETRIES``) before being recorded as a
+:class:`PointFailure`.  With ``strict=True`` (the default)
+:func:`run_points` finishes all in-flight work, then raises
+:class:`GridExecutionError` summarizing every failure; with
+``strict=False`` it returns the ordered results with each failed point's
+slot holding its :class:`PointFailure` so callers can salvage the rest.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
+import pickle
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.config import ClusterConfig
 from repro.core.metrics import RunResult
@@ -40,6 +66,45 @@ class Point(NamedTuple):
 PointLike = Union[Point, Tuple[str, float, ClusterConfig]]
 
 _default_jobs: Optional[int] = None
+
+
+@dataclass
+class PointFailure:
+    """Structured record of one simulation point that could not be run."""
+
+    point: Point
+    #: ``"ExcType: message"`` — always present, always picklable
+    error: str
+    #: full formatted traceback from the failing attempt
+    traceback: str
+    #: total attempts made (1 + retries)
+    attempts: int = 1
+    #: the original exception object, when it survives pickling across
+    #: the process boundary (best effort; ``None`` otherwise)
+    exception: Optional[BaseException] = field(default=None, repr=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.point.app}@{self.point.scale} "
+            f"[{self.point.config.label()}]: {self.error} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+class GridExecutionError(RuntimeError):
+    """Raised by ``run_points(strict=True)`` when any point failed.
+
+    Carries every :class:`PointFailure` in :attr:`failures`; the grid's
+    successful points have still been computed and cached, so a re-run
+    after fixing the cause only pays for the failed points.
+    """
+
+    def __init__(self, failures: Sequence[PointFailure]) -> None:
+        self.failures: List[PointFailure] = list(failures)
+        lines = "\n".join(f"  - {f}" for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} of the requested grid points failed:\n{lines}"
+        )
 
 
 def set_default_jobs(jobs: Optional[int]) -> None:
@@ -71,6 +136,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return 1
 
 
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Resolve the per-point retry budget (``REPRO_POINT_RETRIES``
+    overrides the built-in default of 1)."""
+    if retries is not None:
+        return max(0, int(retries))
+    env = os.environ.get("REPRO_POINT_RETRIES", "").strip()
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
 def _compute_point(point: Point) -> RunResult:
     """Pool worker: simulate one point (module-level for picklability).
 
@@ -83,14 +162,51 @@ def _compute_point(point: Point) -> RunResult:
     return sweeps.cached_run(point.app, point.scale, point.config)
 
 
+def _capture_failure(point: Point, exc: BaseException, attempts: int) -> PointFailure:
+    keep: Optional[BaseException] = exc
+    try:  # only ship the exception object home if it survives pickling
+        pickle.loads(pickle.dumps(exc))
+    except Exception:
+        keep = None
+    return PointFailure(
+        point=point,
+        error=f"{type(exc).__name__}: {exc}",
+        traceback="".join(
+            _traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+        attempts=attempts,
+        exception=keep,
+    )
+
+
+def _compute_point_guarded(
+    point: Point, attempts: int
+) -> Union[RunResult, PointFailure]:
+    """Pool worker that never raises: failures come back as data, so one
+    bad point cannot tear down the whole ``pool.map``-style batch."""
+    try:
+        return _compute_point(point)
+    except BaseException as exc:  # noqa: BLE001 - the whole point
+        return _capture_failure(point, exc, attempts)
+
+
 def run_points(
-    points: Iterable[PointLike], jobs: Optional[int] = None
-) -> List[RunResult]:
+    points: Iterable[PointLike],
+    jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    strict: bool = True,
+) -> List[Union[RunResult, PointFailure]]:
     """Run (or fetch) every point, in parallel, preserving input order.
 
     Duplicate points are simulated once.  Results are also installed in
     the in-memory run cache, so subsequent :func:`~repro.core.sweeps.
     cached_run` calls for the same points are hits.
+
+    Failed points are retried ``retries`` times (see
+    :func:`resolve_retries`).  With ``strict=True`` a residual failure
+    raises :class:`GridExecutionError` *after* all in-flight points have
+    completed (and been cached); with ``strict=False`` the returned list
+    holds a :class:`PointFailure` in each failed slot.
     """
     from repro.core import sweeps
 
@@ -103,7 +219,7 @@ def run_points(
             unique.append(p)
 
     # Satisfy what we can from the layered caches (memory, then disk).
-    resolved = {}
+    resolved: Dict[Point, Union[RunResult, PointFailure]] = {}
     misses: List[Point] = []
     for p in unique:
         hit = sweeps.cached_lookup(p.app, p.scale, p.config)
@@ -113,26 +229,65 @@ def run_points(
             misses.append(p)
 
     n_jobs = resolve_jobs(jobs)
-    if misses:
-        if n_jobs <= 1 or len(misses) == 1:
-            for p in misses:
-                resolved[p] = _compute_point(p)
+    budget = resolve_retries(retries)
+    pending: List[Point] = list(misses)
+    for attempt in range(1, budget + 2):  # first try + `budget` retries
+        if not pending:
+            break
+        last_round = attempt == budget + 1
+        if n_jobs <= 1 or len(pending) == 1:
+            outcomes = {
+                p: _compute_point_guarded(p, attempt) for p in pending
+            }
         else:
-            resolved.update(_map_parallel(misses, n_jobs))
-            # install in this process's caches so later serial calls hit
-            for p in misses:
-                sweeps.cache_store(p.app, p.scale, p.config, resolved[p])
+            outcomes = _map_parallel(pending, n_jobs, attempt)
+            # install fresh successes in this process's caches so later
+            # serial calls hit
+            for p, out in outcomes.items():
+                if isinstance(out, RunResult):
+                    sweeps.cache_store(p.app, p.scale, p.config, out)
+        retry_next: List[Point] = []
+        for p, out in outcomes.items():
+            if isinstance(out, PointFailure) and not last_round:
+                retry_next.append(p)
+            else:
+                resolved[p] = out
+        pending = retry_next
+
+    failures = [r for r in resolved.values() if isinstance(r, PointFailure)]
+    if failures and strict:
+        raise GridExecutionError(failures)
     return [resolved[p] for p in ordered]
 
 
-def _map_parallel(misses: Sequence[Point], n_jobs: int) -> dict:
-    from concurrent.futures import ProcessPoolExecutor
+def _map_parallel(
+    misses: Sequence[Point], n_jobs: int, attempts: int
+) -> Dict[Point, Union[RunResult, PointFailure]]:
+    """Fan points across a process pool, one future per point.
+
+    Exceptions are normally caught *inside* the worker; the ``except``
+    here only fires for infrastructure-level failures (a worker killed
+    by the OS, an unpicklable result, a broken pool) — and still maps
+    them onto the individual point rather than aborting the batch.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
     workers = min(n_jobs, len(misses))
-    chunksize = max(1, len(misses) // (workers * 4))
+    outcomes: Dict[Point, Union[RunResult, PointFailure]] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        results = list(pool.map(_compute_point, misses, chunksize=chunksize))
-    return dict(zip(misses, results))
+        futures = {
+            pool.submit(_compute_point_guarded, p, attempts): p for p in misses
+        }
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for fut in done:
+                p = futures[fut]
+                try:
+                    outcomes[p] = fut.result()
+                except BaseException as exc:  # noqa: BLE001 - see docstring
+                    outcomes[p] = _capture_failure(p, exc, attempts)
+    return outcomes
 
 
 def prefetch(points: Iterable[PointLike], jobs: Optional[int] = None) -> None:

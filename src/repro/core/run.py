@@ -85,6 +85,8 @@ def run_simulation(
 
     unfinished = [c.name for c in cluster.procs if c.finish_time is None]
     if unfinished:
+        # The engine watchdog normally catches this first (with the
+        # blocked process names); this is the belt-and-braces fallback.
         raise RuntimeError(f"deadlock: processors never finished: {unfinished}")
 
     total = max(c.finish_time for c in cluster.procs)
@@ -96,6 +98,19 @@ def run_simulation(
             sum(node.irq.interrupts_raised for node in cluster.nodes)
         ),
     }
+    injector = cluster.fault_injector
+    if injector is not None:
+        # Reliability accounting (only present when faults are enabled,
+        # so fault-free results stay bit-identical to the seed model).
+        meta.update({k: float(v) for k, v in injector.stats().items()})
+        meta["retransmits"] = float(cluster.msg.retransmits)
+        meta["retransmitted_bytes"] = float(cluster.msg.retransmitted_bytes)
+        meta["duplicates_suppressed"] = float(
+            sum(node.nic.duplicates_suppressed for node in cluster.nodes)
+        )
+        meta["messages_lost"] = float(
+            sum(node.nic.messages_dropped for node in cluster.nodes)
+        )
     return RunResult(
         app_name=app.name,
         problem=app.problem,

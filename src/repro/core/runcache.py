@@ -37,7 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: bump on ANY change that alters simulation results for a fixed config
 #: (cost-model constants, protocol behaviour, metrics definitions).
-MODEL_VERSION = 1
+#: 2: fault injection / reliable delivery (FaultParams on ClusterConfig).
+MODEL_VERSION = 2
 
 #: on-disk record layout version (the pickle envelope, not the model)
 _FORMAT_VERSION = 1

@@ -1,0 +1,106 @@
+"""Reliability study — end performance under an imperfect fabric.
+
+The paper assumes Myrinet's reliable delivery; this extension asks what
+the SVM protocols pay when the fabric drops packets and the messaging
+layer must recover via timeout/retransmit (see :mod:`repro.net.faults`).
+For each application we sweep the per-message drop probability crossed
+with the retransmit timeout, and report the achieved speedup, the
+degradation relative to the fault-free run, and the recovery traffic
+(retransmission count).
+
+The fault-free column uses the *plain* base configuration (no
+``FaultParams`` armed at all), so it dedups against every other
+experiment's baseline points in the run cache and doubles as a
+regression check that the reliability machinery is zero-cost when off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import ClusterConfig
+from repro.core.executor import run_points
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
+
+#: per-message drop probabilities (0 = the paper's reliable fabric)
+DROP_SWEEP: Sequence[float] = (0.0, 0.005, 0.01, 0.02)
+
+#: retransmit timeouts (cycles): an aggressive and a conservative timer
+TIMEOUT_SWEEP: Sequence[int] = (50_000, 200_000)
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+    protocol: str = "hlrc",
+    drops: Sequence[float] = DROP_SWEEP,
+    timeouts: Sequence[int] = TIMEOUT_SWEEP,
+) -> ExperimentOutput:
+    base = ClusterConfig(protocol=protocol)
+    names = pick_apps(apps)
+
+    def config_for(drop: float, timeout: int) -> ClusterConfig:
+        if drop == 0.0:
+            return base  # shared fault-free baseline point
+        return base.with_faults(drop_prob=drop, retry_timeout=timeout)
+
+    cells = [
+        (drop, timeout)
+        for drop in drops
+        for timeout in (timeouts if drop else timeouts[:1])
+    ]
+    grid = [
+        (name, scale, config_for(drop, timeout))
+        for name in names
+        for (drop, timeout) in cells
+    ]
+    results = iter(run_points(grid, jobs=jobs))
+
+    headers = ["application"] + [
+        "baseline" if drop == 0.0 else f"drop={drop:g} to={timeout // 1000}k"
+        for (drop, timeout) in cells
+    ] + ["worst degradation"]
+    rows = []
+    data = {}
+    for name in names:
+        per_cell = {}
+        baseline = None
+        cols = []
+        for drop, timeout in cells:
+            r = next(results)
+            retx = int(r.meta.get("retransmits", 0.0))
+            # string cell keys so ExperimentOutput.data stays JSON-serializable
+            per_cell[f"drop={drop:g},timeout={timeout}"] = {
+                "speedup": r.speedup,
+                "total_cycles": r.total_cycles,
+                "retransmits": retx,
+                "messages_lost": int(r.meta.get("messages_lost", 0.0)),
+            }
+            if drop == 0.0:
+                baseline = r
+                cols.append(f"{r.speedup:.2f}")
+            else:
+                degr = (baseline.speedup - r.speedup) / baseline.speedup
+                cols.append(f"{r.speedup:.2f} ({degr * 100:+.1f}%, {retx} retx)")
+        worst = max(
+            (baseline.speedup - c["speedup"]) / baseline.speedup
+            for c in per_cell.values()
+        )
+        rows.append([name] + cols + [f"{worst * 100:.1f}%"])
+        data[name] = per_cell
+    return ExperimentOutput(
+        experiment_id="reliability",
+        title=f"Speedup under packet loss ({protocol.upper()}, "
+        "drop probability x retransmit timeout)",
+        headers=headers,
+        rows=rows,
+        data=data,
+        notes=(
+            "Each faulty cell shows speedup, degradation vs the fault-free "
+            "baseline, and the number of NI-driven retransmissions.  Short "
+            "timeouts recover faster but risk spurious retransmissions; long "
+            "timeouts serialize page fetches behind the full timeout on every "
+            "lost packet."
+        ),
+    )

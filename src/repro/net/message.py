@@ -63,6 +63,10 @@ class Message:
     #: receive-side NI chosen by the sender's pipelined reservation
     #: (multi-NI nodes; see repro.net.nic.NICGroup)
     rx_nic: Any = None
+    #: per-source sequence number assigned by the messaging layer when
+    #: reliable delivery is on; retransmissions keep the original seq so
+    #: the receiver can suppress duplicates.  ``None`` = unsequenced.
+    seq: Optional[int] = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
 
     def __post_init__(self) -> None:

@@ -23,12 +23,30 @@ handler* (the handler bracket already charges the whole duration to
 ``handler``; charging again would double count).  Message/byte counters go
 to the sending CPU's stats either way, which is how Figures 3-4 count
 traffic per processor.
+
+Reliable delivery
+-----------------
+When the cluster runs with fault injection
+(:class:`~repro.net.faults.FaultParams` enabled), every send is
+*sequence-numbered* and watched: if the message has not been deposited in
+the destination's memory within ``retry_timeout`` cycles, the NI
+retransmits it (same sequence number), backing off exponentially, up to
+``max_retries`` times — then raises
+:class:`~repro.net.faults.RetryExhaustedError` instead of hanging.  The
+deposit event doubles as the acknowledgement (a zero-cost piggybacked
+ack); receivers suppress duplicates by sequence number, so spurious
+retransmissions are harmless.  Retransmissions are NI-driven: they pay
+the full wire pipeline again but no host overhead, and they are tallied
+in :attr:`retransmits` / :attr:`retransmitted_bytes`, which flow into
+``RunResult.meta`` for the traffic breakdowns.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
+from repro.net.faults import FaultParams, RetryExhaustedError
 from repro.net.message import Message, MessageKind
 from repro.sim.primitives import Event
 
@@ -48,11 +66,67 @@ class MessagingLayer:
         arch: "ArchParams",
         comm: "CommParams",
         nics: Dict[int, "NetworkInterface"],
+        faults: Optional[FaultParams] = None,
     ) -> None:
         self.sim = sim
         self.arch = arch
         self.comm = comm
         self.nics = nics
+        #: reliable-delivery knobs; ``None`` = perfect fabric, no timers
+        self.faults = faults if faults is not None and faults.enabled else None
+        self._seq_counters: Dict[int, "itertools.count"] = {}
+        #: number of NI-driven retransmissions across the cluster
+        self.retransmits = 0
+        #: wire bytes consumed by retransmissions
+        self.retransmitted_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # reliable transmission
+    # ------------------------------------------------------------------ #
+    def _transmit(self, msg: Message) -> Event:
+        """Hand ``msg`` to its source NI; arm the retransmit watch when
+        reliable delivery is on.  Returns the deposit event."""
+        nic = self._nic(msg.src_node)
+        if self.faults is None:
+            return nic.send(msg)
+        counter = self._seq_counters.get(msg.src_node)
+        if counter is None:
+            counter = self._seq_counters[msg.src_node] = itertools.count()
+        msg.seq = next(counter)
+        deposit = nic.send(msg)
+        self.sim.schedule(
+            self.faults.retry_timeout,
+            self._check_delivery,
+            msg,
+            deposit,
+            0,
+            self.faults.retry_timeout,
+        )
+        return deposit
+
+    def _check_delivery(
+        self, msg: Message, deposit: Event, retries: int, timeout: int
+    ) -> None:
+        """Retransmit timer: fires ``timeout`` cycles after the (re)send.
+
+        Raising from here propagates straight out of ``Simulator.run`` —
+        an exhausted budget can never turn into a silent hang, even for
+        fire-and-forget messages nobody is waiting on.
+        """
+        if deposit.triggered:
+            return
+        f = self.faults
+        if retries >= f.max_retries:
+            raise RetryExhaustedError(msg, retries)
+        self.retransmits += 1
+        self.retransmitted_bytes += msg.wire_bytes(
+            self.arch.packet_mtu, self.arch.packet_header_bytes
+        )
+        self._nic(msg.src_node).send(msg)
+        next_timeout = max(1, int(timeout * f.retry_backoff))
+        self.sim.schedule(
+            next_timeout, self._check_delivery, msg, deposit, retries + 1, next_timeout
+        )
 
     # ------------------------------------------------------------------ #
     # cost/accounting helpers
@@ -112,7 +186,7 @@ class MessagingLayer:
             reply_to=reply_ev,
         )
         yield from self._charge_send(cpu, msg, in_handler)
-        self._nic(src_node).send(msg)
+        self._transmit(msg)
         if in_handler:
             value = yield reply_ev
         else:
@@ -143,7 +217,7 @@ class MessagingLayer:
             reply_to=request.reply_to,
         )
         yield from self._charge_send(cpu, msg, in_handler=True)
-        self._nic(msg.src_node).send(msg)
+        self._transmit(msg)
 
     def send_async(
         self,
@@ -167,7 +241,7 @@ class MessagingLayer:
             reply_to=Event(self.sim, name=f"async.{tag}"),
         )
         yield from self._charge_send(cpu, msg, in_handler)
-        self._nic(src_node).send(msg)
+        self._transmit(msg)
         return msg.reply_to
 
     def send_sync(
@@ -208,7 +282,7 @@ class MessagingLayer:
             cpu.stats.count("bytes_sent", wire)
         else:
             yield from self._charge_send(cpu, msg, in_handler)
-        return self._nic(src_node).send(msg)
+        return self._transmit(msg)
 
     def send_data(
         self,
@@ -233,7 +307,7 @@ class MessagingLayer:
         wire = msg.wire_bytes(self.arch.packet_mtu, self.arch.packet_header_bytes)
         cpu.stats.count("messages_sent")
         cpu.stats.count("bytes_sent", wire)
-        return self._nic(src_node).send(msg)
+        return self._transmit(msg)
         yield  # pragma: no cover — marks this function as a generator
 
     def receive_sync(self, node_id: int, tag: str) -> Event:

@@ -22,7 +22,7 @@ subsystem (Section 3):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
 
 from repro.net.message import Message, MessageKind
 from repro.sim.primitives import Event
@@ -31,6 +31,7 @@ from repro.sim.resources import FluidQueue, Store
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.membus import MemoryBus
     from repro.arch.params import ArchParams, CommParams
+    from repro.net.faults import FaultInjector
     from repro.net.iobus import IOBus
     from repro.net.link import Network
     from repro.sim.engine import Simulator
@@ -49,6 +50,7 @@ class NetworkInterface:
         iobus: "IOBus",
         network: "Network",
         register: bool = True,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -57,6 +59,8 @@ class NetworkInterface:
         self.membus = membus
         self.iobus = iobus
         self.network = network
+        #: shared wire-level fault source, or ``None`` for a perfect fabric
+        self.faults = faults
         #: the NI's programmable core: one server, occupancy per packet
         self.core = FluidQueue(sim, f"ni{node_id}.core")
         #: serial receive dispatch: the single-threaded NI core stalls all
@@ -69,12 +73,17 @@ class NetworkInterface:
         #: hook invoked when the outgoing queue overflows
         self.on_queue_overflow: Optional[Callable[[], None]] = None
         self._sync_stores: Dict[str, Store] = {}
+        #: (src_node, seq) pairs already delivered — duplicate suppression
+        #: for sequenced (reliable) traffic; shared across a NICGroup
+        self._delivered: Set[Tuple[int, int]] = set()
         # statistics
         self.messages_sent = 0
         self.messages_received = 0
         self.wire_bytes_sent = 0
         self.packets_sent = 0
         self.overflow_interrupts = 0
+        self.messages_dropped = 0
+        self.duplicates_suppressed = 0
 
         if register:
             network.attach(node_id, self._on_arrival)
@@ -108,8 +117,16 @@ class NetworkInterface:
         ``max(stage sojourns) + link latency``.
         """
         a, c = self.arch, self.comm
+        faults = self.faults
         packets = msg.packet_count(a.packet_mtu)
         wire = msg.wire_bytes(a.packet_mtu, a.packet_header_bytes)
+
+        # Injected NIC firmware stall: the send sits in the outgoing
+        # queue while the programmable core is wedged.
+        if faults is not None:
+            stall = faults.draw_stall()
+            if stall:
+                yield self.sim.timeout(stall)
 
         # Back-pressure: outgoing queue full -> interrupt main CPU, wait.
         while self.iobus.backlog_bytes > a.ni_queue_bytes:
@@ -120,10 +137,14 @@ class NetworkInterface:
 
         peer = self.network.endpoint(msg.dst_node).pick_rx()
         msg.rx_nic = peer
+        link_bpc = self.network.bytes_per_cycle
+        if faults is not None:
+            # degraded link: serialization runs at a fraction of nominal
+            link_bpc *= faults.link_factor(self.node_id, msg.dst_node)
         stages = [
             self.membus.transfer_latency(wire, "ni_out"),
             self.iobus.dma_latency(wire),
-            int(wire / self.network.bytes_per_cycle),  # link serialization
+            int(wire / link_bpc),  # link serialization
             peer.iobus.dma_latency(wire),
             peer.membus.transfer_latency(wire, "ni_in"),
         ]
@@ -139,7 +160,22 @@ class NetworkInterface:
         self.messages_sent += 1
         self.packets_sent += packets
         self.wire_bytes_sent += wire
+        if faults is None:
+            self.network.deliver(msg, wire)
+            return
+        spike = faults.draw_spike()
+        if spike:
+            yield self.sim.timeout(spike)
+        if faults.draw_drop():
+            # the fabric ate it: bytes left the NI but nothing arrives;
+            # recovery (if armed) is the messaging layer's retransmit
+            self.messages_dropped += 1
+            return
         self.network.deliver(msg, wire)
+        if faults.draw_duplicate():
+            # a second copy lands too; the receiver's sequence-number
+            # dedup keeps it from re-triggering protocol events
+            self.network.deliver(msg, wire)
 
     # ------------------------------------------------------------------ #
     # receive path (stage timing already accounted by the sender side)
@@ -169,6 +205,16 @@ class NetworkInterface:
             self._dispatch_arrival(msg)
 
     def _dispatch_arrival(self, msg: Message) -> None:
+        if msg.seq is not None:
+            # Sequenced (reliable) traffic: deliver-once semantics.  Both
+            # fabric duplicates and spurious retransmissions of an
+            # already-deposited message are absorbed here, so one-shot
+            # events (RPC replies, deposit notifications) never re-fire.
+            key = (msg.src_node, msg.seq)
+            if key in self._delivered:
+                self.duplicates_suppressed += 1
+                return
+            self._delivered.add(key)
         self.messages_received += 1
         if msg.on_deposit is not None:
             msg.on_deposit.succeed(msg)
@@ -223,12 +269,16 @@ class NICGroup:
         self.network = first.network
         self._tx = 0
         self._rx = 0
-        # share one rendezvous table across members
+        # share one rendezvous table and one dedup table across members
+        # (a retransmission may land on a different member than the
+        # original, so deliver-once state must be per node)
         shared = first._sync_stores
+        shared_delivered = first._delivered
         for nic in self.nics[1:]:
             if nic.node_id != self.node_id:
                 raise ValueError("NIC group members must share a node")
             nic._sync_stores = shared
+            nic._delivered = shared_delivered
         self.network.attach(self.node_id, self._on_arrival)
         self.network.register_endpoint(self.node_id, self)
 
@@ -289,6 +339,14 @@ class NICGroup:
     @property
     def overflow_interrupts(self) -> int:
         return sum(n.overflow_interrupts for n in self.nics)
+
+    @property
+    def messages_dropped(self) -> int:
+        return sum(n.messages_dropped for n in self.nics)
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        return sum(n.duplicates_suppressed for n in self.nics)
 
     @property
     def core(self):

@@ -14,13 +14,57 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Set
 
 from repro.sim.tracing import NullTracer, Tracer
 
 
 class SimulationError(RuntimeError):
     """Raised for scheduling misuse (negative delays, running backwards)."""
+
+
+class SimulationStuckError(SimulationError):
+    """The simulation can make no further progress.
+
+    Raised by the :class:`Watchdog` in two situations:
+
+    * **deadlock** — the event heap drained while (non-daemon) processes
+      remain blocked on waitables that can never fire;
+    * **livelock** — events keep dispatching but simulated time stops
+      advancing (e.g. a zero-delay self-rescheduling loop).
+
+    ``blocked`` names the processes that were still alive, so protocol
+    bugs surface as "these handlers never completed" instead of a silent
+    return or an unbounded spin.
+    """
+
+    def __init__(self, message: str, blocked: tuple = ()) -> None:
+        super().__init__(message)
+        self.blocked = tuple(blocked)
+
+
+#: default consecutive same-timestamp dispatches before livelock triggers.
+#: Real bursts (barrier wakeups, interrupt cascades) are a few hundred
+#: events; a million events with zero time progress is a spin.
+DEFAULT_LIVELOCK_EVENTS = 1_000_000
+
+
+@dataclass
+class Watchdog:
+    """Stuck-simulation detection policy for a :class:`Simulator`.
+
+    ``deadlock`` checks cost nothing per event (one scan when the heap
+    drains); ``livelock_events`` adds a per-event counter, so it forces
+    the general dispatch loop — enable it when the run can plausibly spin
+    (fault injection, new protocol code), leave it ``None`` for the
+    optimized hot path.
+    """
+
+    deadlock: bool = True
+    #: consecutive events without time progress before raising, or
+    #: ``None`` to disable livelock detection (keeps the fast path).
+    livelock_events: Optional[int] = None
 
 
 class Simulator:
@@ -38,15 +82,31 @@ class Simulator:
         Current simulation time in cycles.  Monotonically non-decreasing.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_dispatched", "tracer", "_running")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_dispatched",
+        "tracer",
+        "_running",
+        "watchdog",
+        "_processes",
+    )
 
-    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        watchdog: Optional[Watchdog] = None,
+    ) -> None:
         self.now: int = 0
         self._heap: list[tuple[int, int, Callable[..., None], tuple]] = []
         self._seq: int = 0
         self._dispatched: int = 0
         self._running = False
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.watchdog: Optional[Watchdog] = watchdog
+        #: live (unfinished) processes, maintained by Process itself
+        self._processes: Set["Process"] = set()
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -104,14 +164,22 @@ class Simulator:
         self._running = True
         dispatched_before = self._dispatched
         trace = self.tracer
+        wd = self.watchdog
+        livelock_limit = wd.livelock_events if wd is not None else None
 
-        if until is None and max_events is None and not trace.enabled:
+        if (
+            until is None
+            and max_events is None
+            and not trace.enabled
+            and livelock_limit is None
+        ):
             # Hot path: drain-the-heap with no deadline, no event budget
             # and tracing off (the tracer's flag is sampled here once;
             # only a callback mutating this tracer mid-run could observe
             # the difference).  Hot names are bound locally and each
             # iteration is a single heappop — no peek, no per-event
-            # deadline/budget/tracer branches.
+            # deadline/budget/tracer branches.  The deadlock check runs
+            # once after the heap drains, so it costs nothing per event.
             heap = self._heap
             pop = heapq.heappop
             dispatched = self._dispatched
@@ -124,8 +192,10 @@ class Simulator:
             finally:
                 self._dispatched = dispatched
                 self._running = False
+            self._check_deadlock()
             return dispatched - dispatched_before
 
+        stalled = 0  # consecutive dispatches without time progress
         try:
             while self._heap:
                 when, seq, fn, args = self._heap[0]
@@ -133,6 +203,19 @@ class Simulator:
                     self.now = int(until)
                     break
                 heapq.heappop(self._heap)
+                if livelock_limit is not None:
+                    if when > self.now:
+                        stalled = 0
+                    else:
+                        stalled += 1
+                        if stalled > livelock_limit:
+                            raise SimulationStuckError(
+                                f"livelock: {stalled} events dispatched at "
+                                f"t={self.now} without simulated-time "
+                                f"progress; live processes: "
+                                f"{self._live_process_names() or '(none)'}",
+                                blocked=self._live_process_names(),
+                            )
                 self.now = when
                 self._dispatched += 1
                 if max_events is not None and self._dispatched - dispatched_before > max_events:
@@ -145,7 +228,36 @@ class Simulator:
                     self.now = int(until)
         finally:
             self._running = False
+        if until is None and not self._heap:
+            self._check_deadlock()
         return self._dispatched - dispatched_before
+
+    # ------------------------------------------------------------------ #
+    # watchdog support
+    # ------------------------------------------------------------------ #
+    def _live_process_names(self) -> tuple:
+        return tuple(
+            sorted(p.name or repr(p) for p in self._processes if not p.daemon)
+        )
+
+    def _check_deadlock(self) -> None:
+        """Raise if the heap drained while non-daemon processes remain.
+
+        With no pending events, nothing can ever resume them — that is a
+        true deadlock, not a transient.  Only runs when a watchdog with
+        ``deadlock=True`` is installed, so bare simulators (tests,
+        partial fixtures) keep the permissive drain-and-return contract.
+        """
+        wd = self.watchdog
+        if wd is None or not wd.deadlock:
+            return
+        blocked = self._live_process_names()
+        if blocked:
+            raise SimulationStuckError(
+                f"deadlock: event heap drained at t={self.now} with "
+                f"{len(blocked)} blocked process(es): {', '.join(blocked)}",
+                blocked=blocked,
+            )
 
     def step(self) -> bool:
         """Dispatch a single event.  Returns ``False`` if the heap is empty."""
@@ -186,11 +298,16 @@ class Simulator:
 
         return Event(self)
 
-    def spawn(self, gen: Iterator, name: str = "") -> "Process":
-        """Launch ``gen`` as a simulation process at the current time."""
+    def spawn(self, gen: Iterator, name: str = "", daemon: bool = False) -> "Process":
+        """Launch ``gen`` as a simulation process at the current time.
+
+        ``daemon`` processes are excluded from the watchdog's deadlock
+        accounting (long-lived service loops that legitimately outlive
+        the workload, like a dedicated protocol poller).
+        """
         from repro.sim.process import Process
 
-        return Process(self, gen, name=name)
+        return Process(self, gen, name=name, daemon=daemon)
 
 
 # typing-only imports for annotations above

@@ -45,15 +45,20 @@ class Process(Waitable):
         Optional label used in traces and crash reports.
     """
 
-    __slots__ = ("sim", "gen", "name", "done", "_current")
+    __slots__ = ("sim", "gen", "name", "done", "_current", "daemon")
 
-    def __init__(self, sim: "Simulator", gen: Iterator, name: str = "") -> None:
+    def __init__(
+        self, sim: "Simulator", gen: Iterator, name: str = "", daemon: bool = False
+    ) -> None:
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        #: daemon processes are ignored by the watchdog's deadlock check
+        self.daemon = daemon
         #: triggered with the generator's return value on completion
         self.done: Event = Event(sim, name=f"{self.name}.done")
         self._current: Optional[Waitable] = None
+        sim._processes.add(self)
         # First step runs at the current time, after already-queued events.
         sim.schedule_now(self._resume, None)
 
@@ -76,11 +81,14 @@ class Process(Waitable):
                 target = self.gen.send(value)
         except StopIteration as stop:
             self._current = None
+            self.sim._processes.discard(self)
             self.done.succeed(stop.value)
             return
         except ProcessCrash:
+            self.sim._processes.discard(self)
             raise
         except BaseException as err:
+            self.sim._processes.discard(self)
             raise ProcessCrash(self, err) from err
 
         if not isinstance(target, Waitable):

@@ -82,3 +82,64 @@ def test_experiment_unknown_id(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_unknown_app_lists_valid_choices(capsys):
+    assert main(["run", "doom"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1  # one-line error
+    assert "valid:" in err and "fft" in err
+
+
+def test_sweep_unknown_app_fails(capsys):
+    assert main(["sweep", "doom", "host_overhead", "0", "500"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown application" in err and "valid:" in err
+
+
+def test_sweep_malformed_value_one_line_error(capsys):
+    assert main(["sweep", "lu", "host_overhead", "0", "banana"]) == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert "invalid host_overhead value 'banana'" in err
+    assert "expected an integer" in err
+
+
+def test_malformed_jobs_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--jobs", "lots", "lu", "host_overhead", "0"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "invalid --jobs value 'lots'" in err
+    assert "0 = all cores" in err
+
+
+def test_negative_jobs_flag_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["experiment", "figure01", "--jobs", "-2"])
+    assert "invalid --jobs value '-2'" in capsys.readouterr().err
+
+
+def test_invalid_fault_probability_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "lu", "--drop-prob", "1.5"])
+    assert "invalid probability '1.5'" in capsys.readouterr().err
+
+
+def test_invalid_config_value_friendly_error(capsys):
+    # passes argparse, rejected by FaultParams validation -> error:, rc 2
+    assert main(["run", "lu", "--scale", "0.05", "--retry-timeout", "0"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "retry_timeout" in err
+
+
+def test_run_with_faults_enabled(capsys):
+    rc = main(["run", "fft", "--scale", "0.05", "--drop-prob", "0.02"])
+    assert rc == 0
+    assert "fft" in capsys.readouterr().out
+
+
+def test_list_includes_reliability(capsys):
+    assert main(["list"]) == 0
+    assert "reliability" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Executor failure handling: per-point capture, retries, strict mode."""
+
+import pytest
+
+from repro.core import runcache
+from repro.core.config import ClusterConfig
+from repro.core.executor import (
+    GridExecutionError,
+    Point,
+    PointFailure,
+    resolve_retries,
+    run_points,
+)
+from repro.core.metrics import RunResult
+from repro.core.sweeps import cached_lookup, clear_caches
+
+SCALE = 0.05
+
+#: a point that always fails: get_app raises "unknown application"
+POISON = ("no-such-app", SCALE, ClusterConfig())
+
+
+@pytest.fixture
+def fresh(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_POINT_RETRIES", raising=False)
+    runcache.reset_disk_cache()
+    clear_caches()
+    yield
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+def _mixed_grid():
+    return [("fft", SCALE, ClusterConfig()), POISON, ("lu", SCALE, ClusterConfig())]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_non_strict_returns_partial_results(fresh, jobs):
+    results = run_points(_mixed_grid(), jobs=jobs, strict=False)
+    assert isinstance(results[0], RunResult) and results[0].app_name == "fft"
+    assert isinstance(results[2], RunResult) and results[2].app_name == "lu"
+    failure = results[1]
+    assert isinstance(failure, PointFailure)
+    assert failure.point == Point(*POISON)
+    assert "unknown application" in failure.error
+    assert "ValueError" in failure.error
+    assert "Traceback" in failure.traceback
+    assert failure.attempts == 2  # first try + default 1 retry
+    assert isinstance(failure.exception, ValueError)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_strict_raises_after_completing_in_flight_work(fresh, jobs):
+    with pytest.raises(GridExecutionError) as exc:
+        run_points(_mixed_grid(), jobs=jobs, strict=True)
+    assert len(exc.value.failures) == 1
+    assert "no-such-app" in str(exc.value)
+    # the healthy points were still computed and cached before the raise
+    assert cached_lookup("fft", SCALE, ClusterConfig()) is not None
+    assert cached_lookup("lu", SCALE, ClusterConfig()) is not None
+
+
+def test_retries_zero_single_attempt(fresh):
+    results = run_points([POISON], jobs=1, retries=0, strict=False)
+    assert results[0].attempts == 1
+
+
+def test_retries_env_override(fresh, monkeypatch):
+    monkeypatch.setenv("REPRO_POINT_RETRIES", "3")
+    assert resolve_retries() == 3
+    assert resolve_retries(0) == 0  # explicit beats env
+    results = run_points([POISON], jobs=1, strict=False)
+    assert results[0].attempts == 4
+
+
+def test_resolve_retries_ignores_garbage_env(monkeypatch):
+    monkeypatch.setenv("REPRO_POINT_RETRIES", "many")
+    assert resolve_retries() == 1
+
+
+def test_failures_are_not_cached(fresh):
+    run_points([POISON], jobs=2, strict=False, retries=0)
+    assert cached_lookup(*POISON) is None
+
+
+def test_all_points_failing_still_structured(fresh):
+    grid = [POISON, ("also-missing", SCALE, ClusterConfig())]
+    with pytest.raises(GridExecutionError) as exc:
+        run_points(grid, jobs=2, retries=0)
+    assert len(exc.value.failures) == 2

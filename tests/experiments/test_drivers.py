@@ -19,6 +19,7 @@ from repro.experiments import (
     figure12_page_size,
     figure13_clustering,
     interrupt_variants,
+    reliability,
     table02_events,
     table03_slowdowns,
     table04_attribution,
@@ -161,3 +162,16 @@ def test_attribution_radix_bandwidth_recovers_gap():
     assert fft["both"] >= max(fft["interrupts=0"], fft["io bw = membus"]) * 0.95
     barnes = out.data["barnes-rebuild"]
     assert barnes["no remote fetches"] > barnes["achievable"]
+
+
+def test_reliability_degrades_with_drop_rate():
+    out = reliability.run(
+        scale=0.05, apps=["lu"], drops=(0.0, 0.01), timeouts=(50_000,)
+    )
+    cells = out.data["lu"]
+    clean = cells["drop=0,timeout=50000"]
+    faulty = cells["drop=0.01,timeout=50000"]
+    assert clean["retransmits"] == 0 and clean["messages_lost"] == 0
+    assert faulty["retransmits"] > 0 and faulty["messages_lost"] > 0
+    assert faulty["speedup"] < clean["speedup"]
+    assert "reliability" in out.table_str()

@@ -1,0 +1,193 @@
+"""Fault injection + reliable delivery: determinism, recovery, exhaustion."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core import ClusterConfig, run_simulation
+from repro.core.runcache import content_key
+from repro.net.faults import FaultInjector, FaultParams, RetryExhaustedError
+from repro.sim.engine import SimulationStuckError
+
+# Golden numbers for the default config at scale 0.05, seed 42, captured
+# from the seed model (pre-fault-injection).  FaultParams all-off MUST
+# reproduce these bit-identically — the reliability machinery has to be
+# zero-cost when disabled.
+FFT_GOLDEN = dict(
+    total_cycles=217099,
+    serial_cycles=307056,
+    meta={
+        "network_messages": 108.0,
+        "network_bytes": 160056.0,
+        "sim_events": 1920.0,
+        "interrupts": 36.0,
+    },
+)
+LU_GOLDEN = dict(
+    total_cycles=27264567,
+    serial_cycles=169442372,
+    meta={
+        "network_messages": 1670.0,
+        "network_bytes": 3411424.0,
+        "sim_events": 13713.0,
+        "interrupts": 784.0,
+    },
+)
+
+
+def _run(app, config, scale=0.05):
+    trace = get_app(app, page_size=config.comm.page_size, scale=scale, seed=config.seed)
+    return run_simulation(trace, config)
+
+
+# --------------------------------------------------------------------- #
+# FaultParams validation
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "kw, field",
+    [
+        ({"drop_prob": -0.1}, "drop_prob"),
+        ({"drop_prob": 1.5}, "drop_prob"),
+        ({"dup_prob": 2.0}, "dup_prob"),
+        ({"delay_spike_prob": -1e-9}, "delay_spike_prob"),
+        ({"stall_prob": 7}, "stall_prob"),
+        ({"link_degradation": 1.0}, "link_degradation"),
+        ({"delay_spike_cycles": -1}, "delay_spike_cycles"),
+        ({"retry_timeout": 0}, "retry_timeout"),
+        ({"max_retries": -1}, "max_retries"),
+        ({"retry_backoff": 0.5}, "retry_backoff"),
+        ({"degraded_links": ((0, 1, 1.5),)}, "degraded_links"),
+    ],
+)
+def test_fault_params_validation_names_field(kw, field):
+    with pytest.raises(ValueError, match=field):
+        FaultParams(**kw)
+
+
+def test_fault_params_enabled():
+    assert not FaultParams().enabled
+    assert FaultParams(drop_prob=0.01).enabled
+    assert FaultParams(dup_prob=0.01).enabled
+    assert FaultParams(delay_spike_prob=0.01).enabled
+    assert FaultParams(stall_prob=0.01).enabled
+    assert FaultParams(link_degradation=0.5).enabled
+    assert FaultParams(degraded_links=((0, 1, 0.5),)).enabled
+    # recovery knobs alone do not arm the injector
+    assert not FaultParams(retry_timeout=1234, max_retries=3).enabled
+
+
+def test_cluster_config_rejects_non_fault_params():
+    with pytest.raises(ValueError, match="faults"):
+        ClusterConfig(faults={"drop_prob": 0.1})
+
+
+# --------------------------------------------------------------------- #
+# zero-cost when off: golden equality with the seed model
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "app, golden", [("fft", FFT_GOLDEN), ("lu", LU_GOLDEN)]
+)
+def test_faults_off_reproduces_seed_baseline(app, golden):
+    r = run_simulation(
+        get_app(app, page_size=4096, scale=0.05, seed=42), ClusterConfig()
+    )
+    assert r.total_cycles == golden["total_cycles"]
+    assert r.serial_cycles == golden["serial_cycles"]
+    assert r.meta == golden["meta"]  # no reliability keys sneak in
+
+
+def test_explicit_default_fault_params_same_cache_key():
+    base = ClusterConfig()
+    explicit = ClusterConfig(faults=FaultParams())
+    assert base == explicit
+    assert content_key("fft", 0.05, base) == content_key("fft", 0.05, explicit)
+
+
+def test_faulty_config_changes_cache_key():
+    base = ClusterConfig()
+    faulty = base.with_faults(drop_prob=0.01)
+    assert content_key("fft", 0.05, base) != content_key("fft", 0.05, faulty)
+    reseeded = faulty.with_faults(fault_seed=99)
+    assert content_key("fft", 0.05, faulty) != content_key("fft", 0.05, reseeded)
+
+
+# --------------------------------------------------------------------- #
+# injector determinism
+# --------------------------------------------------------------------- #
+def test_injector_same_seed_same_draws():
+    params = FaultParams(
+        drop_prob=0.1, dup_prob=0.1, delay_spike_prob=0.1, stall_prob=0.1
+    )
+
+    def draws(p):
+        inj = FaultInjector(p)
+        return [
+            (inj.draw_stall(), inj.draw_spike(), inj.draw_drop(), inj.draw_duplicate())
+            for _ in range(1000)
+        ]
+
+    assert draws(params) == draws(params)
+    assert draws(params) != draws(params.replace(fault_seed=8))
+
+
+def test_faulty_run_bit_identical_for_fixed_seed():
+    cfg = ClusterConfig(
+        faults=FaultParams(drop_prob=0.02, dup_prob=0.01, retry_timeout=50_000)
+    )
+    a = _run("fft", cfg)
+    b = _run("fft", cfg)
+    assert a.total_cycles == b.total_cycles
+    assert a.meta == b.meta
+    assert a.proc_stats == b.proc_stats
+
+
+# --------------------------------------------------------------------- #
+# recovery: protocols complete correctly under loss
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("protocol", ["hlrc", "aurc"])
+def test_protocols_complete_under_drops(protocol):
+    cfg = ClusterConfig(
+        protocol=protocol,
+        faults=FaultParams(drop_prob=0.02, retry_timeout=50_000),
+    )
+    r = _run("lu", cfg)
+    assert r.total_cycles >= LU_GOLDEN["total_cycles"]  # loss never speeds it up
+    assert r.meta["messages_lost"] > 0
+    assert r.meta["retransmits"] > 0
+    assert r.meta["faults_dropped"] == r.meta["messages_lost"]
+
+
+def test_duplicates_are_suppressed():
+    cfg = ClusterConfig(faults=FaultParams(dup_prob=0.2))
+    r = _run("fft", cfg)
+    assert r.meta["faults_duplicated"] > 0
+    # every duplicate the injector created was caught by receiver dedup
+    assert r.meta["duplicates_suppressed"] == r.meta["faults_duplicated"]
+    # pure duplication never slows the app down or corrupts the run
+    assert r.total_cycles == FFT_GOLDEN["total_cycles"]
+
+
+def test_delay_spikes_slow_but_complete():
+    cfg = ClusterConfig(
+        faults=FaultParams(delay_spike_prob=0.3, delay_spike_cycles=5_000)
+    )
+    r = _run("fft", cfg)
+    assert r.meta["faults_delay_spikes"] > 0
+    assert r.total_cycles > FFT_GOLDEN["total_cycles"]
+
+
+# --------------------------------------------------------------------- #
+# retry exhaustion surfaces as a structured error, never a hang
+# --------------------------------------------------------------------- #
+def test_retry_exhaustion_raises_structured_error():
+    cfg = ClusterConfig(
+        faults=FaultParams(
+            drop_prob=1.0, retry_timeout=1_000, max_retries=2, fault_seed=7
+        )
+    )
+    with pytest.raises(RetryExhaustedError) as exc:
+        _run("fft", cfg)
+    err = exc.value
+    assert isinstance(err, SimulationStuckError)
+    assert err.attempts == 2  # retransmissions made == max_retries
+    assert "retry budget exhausted" in str(err)
+    assert 0 <= err.src_node and 0 <= err.dst_node
