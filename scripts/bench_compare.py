@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark run against the committed baseline.
+
+``scripts/bench_sweep.py`` writes wall-clock timings to a JSON file; the
+repo commits one such file (``BENCH_sweep.json``) as the performance
+baseline.  This script diffs a fresh run against it and gates CI:
+
+* **cold-path** timings (``serial_cold_s``, ``parallel_cold_s``) more
+  than ``--threshold`` slower than baseline **fail** — a cold run is
+  dominated by the simulator hot loop, so a big regression there means
+  model code got slower;
+* **warm-path** timing (``parallel_warm_s``) only **warns** — warm runs
+  are disk-cache hits measured in fractions of a second, far too noisy
+  on shared CI runners to gate on.
+
+The full comparison is written to ``--out`` (JSON) so CI can upload it
+as an artifact regardless of outcome.
+
+Usage::
+
+    python scripts/bench_compare.py --fresh BENCH_fresh.json \
+        [--baseline BENCH_sweep.json] [--threshold 0.30] \
+        [--out bench_diff.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: keys gated hard vs. warn-only (values are human labels)
+COLD_KEYS = {"serial_cold_s": "serial cold", "parallel_cold_s": "parallel cold"}
+WARM_KEYS = {"parallel_warm_s": "parallel warm"}
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> dict:
+    """Build the comparison record; ``failures`` is empty when the gate passes."""
+    rows = []
+    failures = []
+    warnings = []
+    for keys, gated in ((COLD_KEYS, True), (WARM_KEYS, False)):
+        for key, label in keys.items():
+            base = baseline.get(key)
+            new = fresh.get(key)
+            if base is None or new is None:
+                warnings.append(f"{label}: key {key!r} missing from "
+                                f"{'baseline' if base is None else 'fresh'} file")
+                continue
+            ratio = (new - base) / base if base > 0 else 0.0
+            row = {
+                "key": key,
+                "label": label,
+                "baseline_s": base,
+                "fresh_s": new,
+                "slowdown": round(ratio, 4),
+                "gated": gated,
+            }
+            rows.append(row)
+            if ratio > threshold:
+                msg = (f"{label}: {new:.2f}s vs baseline {base:.2f}s "
+                       f"({ratio * 100:+.1f}%, threshold +{threshold * 100:.0f}%)")
+                (failures if gated else warnings).append(msg)
+    return {
+        "threshold": threshold,
+        "rows": rows,
+        "failures": failures,
+        "warnings": warnings,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, help="fresh bench_sweep.py output")
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="committed baseline (default: BENCH_sweep.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="cold-path slowdown fraction that fails the gate (default 0.30)",
+    )
+    parser.add_argument("--out", default="bench_diff.json", help="comparison artifact")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(pathlib.Path(args.baseline).read_text(encoding="utf-8"))
+    fresh = json.loads(pathlib.Path(args.fresh).read_text(encoding="utf-8"))
+    report = compare(baseline, fresh, args.threshold)
+
+    pathlib.Path(args.out).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    for row in report["rows"]:
+        gate = "gate" if row["gated"] else "warn"
+        print(
+            f"  {row['label']:<14} [{gate}] baseline={row['baseline_s']:7.2f}s "
+            f"fresh={row['fresh_s']:7.2f}s  {row['slowdown'] * 100:+6.1f}%"
+        )
+    for msg in report["warnings"]:
+        print(f"WARNING: {msg}")
+    if report["failures"]:
+        print("bench compare FAILED:")
+        for msg in report["failures"]:
+            print(f"  - {msg}")
+        return 1
+    print(f"bench compare OK (diff written to {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

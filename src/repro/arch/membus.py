@@ -59,6 +59,8 @@ class MemoryBus:
         self.transfer_count = 0
         self.transfer_bytes = 0
         self.background_bytes = 0
+        #: optional metrics registry (None = disabled, single check per transfer)
+        self.metrics = None
 
     # ------------------------------------------------------------------ #
     # discrete transfers
@@ -79,6 +81,11 @@ class MemoryBus:
         service = arb + nbytes / (a.membus_bytes_per_cycle * residual)
         self.transfer_count += 1
         self.transfer_bytes += nbytes
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.bump(f"{self.name}.{kind}.transfers")
+            metrics.bump(f"{self.name}.{kind}.bytes", nbytes)
+            metrics.sample_queue(f"{self.name}.backlog", self.queue.backlog)
         return self.queue.latency(service)
 
     # ------------------------------------------------------------------ #

@@ -124,6 +124,9 @@ class Processor:
         self.name = name or f"cpu{global_id}"
         self.stats = ProcessorStats()
         self.node: Any = None  # back-reference set by the cluster builder
+        #: optional metrics registry (set by the cluster when profiling);
+        #: None keeps the handler path at a single attribute check
+        self.metrics: Any = None
 
         self._handler_lock = Resource(sim, capacity=1, name=f"{self.name}.irq")
         self._handler_busy_completed = 0
@@ -157,6 +160,14 @@ class Processor:
         yield self._handler_lock.acquire()
         self._active_start = self.sim.now
         self._active_end = Event(self.sim, name=f"{self.name}.irq_end")
+        metrics = self.metrics
+        if metrics is not None:
+            # node-level union tracker: "some CPU of this node is inside a
+            # protocol handler" (simultaneous handlers on sibling CPUs
+            # count once), plus a per-CPU invocation tally
+            key = f"n{self.node.node_id}.handler" if self.node is not None else f"{self.name}.handler"
+            metrics.begin_busy(key, self.sim.now)
+            metrics.bump(f"{self.name}.handlers")
         try:
             result = yield from body
         finally:
@@ -165,6 +176,8 @@ class Processor:
             self.stats.add("handler", duration)
             self._active_start = None
             end_event, self._active_end = self._active_end, None
+            if metrics is not None:
+                metrics.end_busy(key, self.sim.now)
             end_event.succeed()
             self._handler_lock.release()
         return result

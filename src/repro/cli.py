@@ -6,6 +6,11 @@ Commands
     Show the available applications and experiments.
 ``run APP``
     Simulate one application and print the speedup and time breakdown.
+``profile APP``
+    Simulate with the metrics registry enabled and print per-resource
+    utilization, the per-barrier-epoch cost breakdown, and the top-N
+    protocol hotspots; ``--export FILE`` writes JSONL (or CSV by
+    extension) via :mod:`repro.core.reporting`.
 ``sweep APP PARAM V1 V2 ...``
     Sweep one communication parameter for one application.
 ``experiment ID``
@@ -233,6 +238,82 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profiled run: bottleneck table, per-epoch breakdown, hotspots."""
+    from repro.core import MetricsRegistry
+    from repro.core.reporting import write_csv, write_jsonl
+
+    err = _check_app(args.app)
+    if err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    config = _config_from(args)
+    app = get_app(
+        args.app, page_size=args.page_size, scale=args.scale, seed=args.seed
+    )
+    registry = MetricsRegistry()
+    result = run_simulation(app, config, metrics=registry)
+    print(result.summary())
+
+    util = result.utilization()
+    ranked = sorted(util.items(), key=lambda kv: (-kv[1], kv[0]))
+    rows = [
+        [name, result.resource_busy.get(name, 0), f"{frac:.1%}"]
+        for name, frac in ranked[: args.resources]
+    ]
+    print()
+    print(
+        format_table(
+            ["resource", "busy cycles", "occupancy"],
+            rows,
+            title=f"Resource occupancy (top {min(args.resources, len(ranked))} "
+            f"of {len(ranked)})",
+        )
+    )
+
+    phases = result.phase_breakdown()
+    if phases:
+        cats = [
+            cat
+            for cat in result.time_breakdown()
+            if any(p["cycles"].get(cat, 0) for p in phases)
+        ]
+        rows = [
+            [p["label"], p["start"], p["end"]]
+            + [f"{p['fractions'].get(cat, 0.0):.1%}" for cat in cats]
+            for p in phases
+        ]
+        print()
+        print(
+            format_table(
+                ["phase", "start", "end"] + cats,
+                rows,
+                title="Per-epoch cost breakdown (fractions of each epoch)",
+            )
+        )
+
+    hotspots = result.hotspots(args.top)
+    if hotspots:
+        rows = [
+            [name, cycles, count, f"{cycles / max(1, result.total_cycles):.2f}"]
+            for name, cycles, count in hotspots
+        ]
+        print()
+        print(
+            format_table(
+                ["hotspot", "cycles", "events", "cycles/run-cycle"],
+                rows,
+                title=f"Top {len(hotspots)} protocol hotspots",
+            )
+        )
+
+    if args.export:
+        writer = write_csv if args.export.endswith(".csv") else write_jsonl
+        writer(args.export, [result])
+        print(f"\nexported 1 record to {args.export}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweeps import sweep_comm_param
 
@@ -313,6 +394,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_comm_options(p_run)
     _add_fault_options(p_run)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="profiled run: resource occupancy, per-epoch breakdown, hotspots",
+    )
+    p_prof.add_argument("app")
+    p_prof.add_argument(
+        "--top", type=int, default=10, help="protocol hotspots to show"
+    )
+    p_prof.add_argument(
+        "--resources", type=int, default=20, help="resource rows to show"
+    )
+    p_prof.add_argument(
+        "--export",
+        default=None,
+        metavar="FILE",
+        help="write the full record to FILE (.csv for CSV, else JSONL)",
+    )
+    _add_comm_options(p_prof)
+    _add_fault_options(p_prof)
+
     p_sweep = sub.add_parser("sweep", help="sweep one communication parameter")
     _add_jobs_option(p_sweep, "sweep")
     p_sweep.add_argument("app")
@@ -348,6 +449,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "profile": cmd_profile,
         "sweep": cmd_sweep,
         "experiment": cmd_experiment,
         "cache": cmd_cache,

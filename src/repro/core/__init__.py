@@ -14,10 +14,12 @@ from repro.core.cluster import Cluster, Node
 from repro.core.config import ClusterConfig
 from repro.core.metrics import RunResult, geometric_mean
 from repro.core.run import run_simulation
+from repro.core.stats import MetricsRegistry
 
 __all__ = [
     "Cluster",
     "ClusterConfig",
+    "MetricsRegistry",
     "Node",
     "RunResult",
     "geometric_mean",

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.arch.membus import MemoryBus
 from repro.arch.processor import Processor
 from repro.core.config import ClusterConfig
+from repro.core.stats import MetricsRegistry
 from repro.net.faults import FaultInjector
 from repro.net.iobus import IOBus
 from repro.net.link import Network
@@ -40,6 +41,7 @@ class Node:
         config: ClusterConfig,
         network: Network,
         faults: Optional[FaultInjector] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         arch, comm = config.arch, config.comm
         self.sim = sim
@@ -93,6 +95,16 @@ class Node:
                 name=f"n{node_id}svc",
             )
             self.service_cpu.node = self
+        if metrics is not None:
+            self.membus.metrics = metrics
+            for iobus in self.iobuses:
+                iobus.metrics = metrics
+            for nic in nics:
+                nic.metrics = metrics
+            for cpu in self.cpus:
+                cpu.metrics = metrics
+            if self.service_cpu is not None:
+                self.service_cpu.metrics = metrics
 
     # ------------------------------------------------------------------ #
     def dispatch_request(self, body_factory, name: str = "req"):
@@ -141,8 +153,17 @@ class Node:
 class Cluster:
     """The fully assembled simulated machine."""
 
-    def __init__(self, config: ClusterConfig, sim: Optional[Simulator] = None) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        sim: Optional[Simulator] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.config = config
+        #: metrics registry shared by every instrumented component, or
+        #: ``None`` (the default) for a zero-observability-cost run
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
+        metrics = self.metrics
         #: shared wire-fault source (None when config.faults is all-off)
         self.fault_injector: Optional[FaultInjector] = (
             FaultInjector(config.faults) if config.faults.enabled else None
@@ -164,8 +185,16 @@ class Cluster:
         self.network = Network(
             self.sim, arch.link_bytes_per_cycle, arch.link_latency_cycles
         )
+        self.network.metrics = metrics
         self.nodes: List[Node] = [
-            Node(self.sim, i, config, self.network, faults=self.fault_injector)
+            Node(
+                self.sim,
+                i,
+                config,
+                self.network,
+                faults=self.fault_injector,
+                metrics=metrics,
+            )
             for i in range(config.n_nodes)
         ]
         self.procs: List[Processor] = [cpu for node in self.nodes for cpu in node.cpus]
@@ -188,6 +217,7 @@ class Cluster:
             nodes=self.nodes,
             procs=self.procs,
             free_page_fetches=config.free_page_fetches,
+            metrics=metrics,
         )
         self.protocol = PROTOCOLS[config.protocol](self.ctx)
 

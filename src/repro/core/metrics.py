@@ -13,9 +13,13 @@ Definitions follow the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.arch.processor import TIME_CATEGORIES, ProcessorStats
+
+#: time categories during which a processor is *busy* (occupying its
+#: pipeline) as opposed to blocked waiting on a remote event
+BUSY_CATEGORIES = ("compute", "local_stall", "handler", "overhead", "protocol")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.apps.base import AppTrace
@@ -44,6 +48,18 @@ class RunResult:
     uncontended_busy_max: int = 0
     #: extra run metadata (network bytes, NI stats, ...)
     meta: Dict[str, float] = field(default_factory=dict)
+    #: per-resource busy cycles (memory buses, I/O buses, NI cores, links,
+    #: CPUs), harvested in one end-of-run walk — always populated
+    resource_busy: Dict[str, int] = field(default_factory=dict)
+    #: phase marks from the metrics registry: (time, label, cumulative
+    #: per-category cycles); empty unless the run was profiled
+    phase_marks: List[Tuple[int, str, Dict[str, int]]] = field(default_factory=list)
+    #: metrics-registry event counters (per-message-kind, per-tag, ...)
+    metrics_counters: Dict[str, int] = field(default_factory=dict)
+    #: metrics-registry cycle accumulators (per-handler-tag hotspots)
+    metrics_cycles: Dict[str, int] = field(default_factory=dict)
+    #: queue-depth summaries: name -> {mean, max, samples}
+    queue_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # speedups
@@ -86,6 +102,67 @@ class RunResult:
         bd = self.time_breakdown()
         denom = max(1, sum(bd.values()))
         return {cat: cycles / denom for cat, cycles in bd.items()}
+
+    # ------------------------------------------------------------------ #
+    # resource occupancy / phase attribution (observability layer)
+    # ------------------------------------------------------------------ #
+    def utilization(self) -> Dict[str, float]:
+        """Fraction of the run each resource spent busy, by resource name.
+
+        Computed from :attr:`resource_busy` over the parallel execution
+        time; a saturated resource reads ~1.0 (e.g. "NI 87% occupied,
+        I/O bus 34%" — the paper's bottleneck-shift evidence).  Values
+        are clamped to 1.0: an analytic server's backlog may drain past
+        the last application event.
+        """
+        span = max(1, self.total_cycles)
+        return {
+            name: min(1.0, busy / span)
+            for name, busy in self.resource_busy.items()
+        }
+
+    def phase_breakdown(self) -> List[Dict[str, object]]:
+        """Per-phase (barrier-epoch) cost breakdown.
+
+        Differences adjacent :attr:`phase_marks` into one record per
+        epoch: ``{"label", "start", "end", "cycles", "fractions"}`` where
+        ``fractions`` is normalized over the epoch's own total (summing
+        to 1.0), matching the paper's stacked-bar figures.  Epochs in
+        which no cycles were charged are dropped.  Empty unless the run
+        was profiled with a metrics registry.
+        """
+        phases: List[Dict[str, object]] = []
+        prev_time = 0
+        prev_cum: Dict[str, int] = {cat: 0 for cat in TIME_CATEGORIES}
+        for time, label, cum in self.phase_marks:
+            delta = {
+                cat: cum.get(cat, 0) - prev_cum.get(cat, 0) for cat in TIME_CATEGORIES
+            }
+            total = sum(delta.values())
+            if total > 0:
+                phases.append(
+                    {
+                        "label": label,
+                        "start": prev_time,
+                        "end": time,
+                        "cycles": delta,
+                        "fractions": {cat: c / total for cat, c in delta.items()},
+                    }
+                )
+            prev_time, prev_cum = time, cum
+        return phases
+
+    def hotspots(self, top: int = 10) -> List[Tuple[str, int, int]]:
+        """Top-``top`` protocol hotspots as ``(name, cycles, count)``.
+
+        Ranks the metrics registry's cycle accumulators (handler tags,
+        diff creation, update drains) by total cycles spent.
+        """
+        ranked = sorted(self.metrics_cycles.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            (name, cycles, self.metrics_counters.get(f"{name}.count", 0))
+            for name, cycles in ranked[:top]
+        ]
 
     # ------------------------------------------------------------------ #
     # normalized event rates (Table 2 / Figures 3-4 units)

@@ -22,7 +22,8 @@ from repro.apps.base import (
 )
 from repro.core.cluster import Cluster
 from repro.core.config import ClusterConfig
-from repro.core.metrics import RunResult
+from repro.core.metrics import BUSY_CATEGORIES, RunResult
+from repro.core.stats import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.processor import Processor
@@ -52,10 +53,35 @@ def _worker(cluster: Cluster, cpu: "Processor", events: List) -> object:
     cpu.finish_time = cluster.sim.now
 
 
+def _harvest_resource_busy(cluster: Cluster) -> dict:
+    """Per-resource busy cycles in one end-of-run walk.
+
+    The fluid-queue servers (buses, NI cores, receive gates) track busy
+    cycles unconditionally, and processor stats already split time by
+    category — so resource occupancy costs the DES hot loop nothing and
+    is populated on *every* run, profiled or not.
+    """
+    busy = {}
+    link_bpc = cluster.network.bytes_per_cycle
+    for node in cluster.nodes:
+        busy[node.membus.name] = node.membus.queue.busy_cycles
+        for iobus in node.iobuses:
+            busy[iobus.name] = iobus.queue.busy_cycles
+        for nic in getattr(node.nic, "nics", [node.nic]):
+            busy[nic.core.name] = nic.core.busy_cycles
+            busy[nic.rx_gate.name] = nic.rx_gate.busy_cycles
+        # outgoing-link serialization time of this node's wire traffic
+        busy[f"link{node.node_id}"] = int(node.nic.wire_bytes_sent / link_bpc)
+    for cpu in cluster.procs:
+        busy[f"cpu.{cpu.name}"] = sum(cpu.stats.time[cat] for cat in BUSY_CATEGORIES)
+    return busy
+
+
 def run_simulation(
     app: AppTrace,
     config: Optional[ClusterConfig] = None,
     max_events: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Simulate ``app`` on a cluster built from ``config``.
 
@@ -68,6 +94,13 @@ def run_simulation(
         Cluster configuration; defaults to the achievable set.
     max_events:
         Optional safety valve forwarded to the simulator.
+    metrics:
+        Optional :class:`~repro.core.stats.MetricsRegistry` for a
+        profiled run: per-message-type counts, queue-depth samples,
+        handler hotspots and per-barrier-epoch phase marks flow into the
+        result.  Collection is passive, so profiling never changes the
+        simulated outcome.  Callers that cache results should leave this
+        ``None`` (the cache key does not cover profiling state).
     """
     if config is None:
         config = ClusterConfig()
@@ -76,7 +109,7 @@ def run_simulation(
             f"trace built for {app.n_procs} processors but config has "
             f"{config.total_procs}"
         )
-    cluster = Cluster(config)
+    cluster = Cluster(config, metrics=metrics)
     for proc_id, events in enumerate(app.events):
         cluster.sim.spawn(
             _worker(cluster, cluster.procs[proc_id], events), name=f"app.p{proc_id}"
@@ -111,6 +144,22 @@ def run_simulation(
         meta["messages_lost"] = float(
             sum(node.nic.messages_dropped for node in cluster.nodes)
         )
+    registry = cluster.metrics
+    phase_marks = []
+    metrics_counters = {}
+    metrics_cycles = {}
+    queue_stats = {}
+    if registry is not None:
+        # close the last epoch so phase deltas cover the whole run
+        registry.phase_mark(total, "run_end", cluster.protocol.ctx.aggregate_time())
+        phase_marks = list(registry.phase_marks)
+        metrics_counters = dict(registry.counters)
+        metrics_cycles = dict(registry.cycles)
+        # fold union busy trackers (e.g. node-level handler occupancy)
+        # into the cycle accumulators for export
+        for name, cycles in registry.busy_cycles().items():
+            metrics_cycles.setdefault(f"busy.{name}", cycles)
+        queue_stats = registry.queue_summary()
     return RunResult(
         app_name=app.name,
         problem=app.problem,
@@ -121,4 +170,9 @@ def run_simulation(
         counters=cluster.protocol.counters,
         uncontended_busy_max=app.max_busy_cycles,
         meta=meta,
+        resource_busy=_harvest_resource_busy(cluster),
+        phase_marks=phase_marks,
+        metrics_counters=metrics_counters,
+        metrics_cycles=metrics_cycles,
+        queue_stats=queue_stats,
     )

@@ -38,7 +38,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: bump on ANY change that alters simulation results for a fixed config
 #: (cost-model constants, protocol behaviour, metrics definitions).
 #: 2: fault injection / reliable delivery (FaultParams on ClusterConfig).
-MODEL_VERSION = 2
+#: 3: observability layer — RunResult grows resource_busy/phase_marks/
+#:    metrics_* fields, so pre-3 pickles lack attributes new code reads.
+MODEL_VERSION = 3
 
 #: on-disk record layout version (the pickle envelope, not the model)
 _FORMAT_VERSION = 1

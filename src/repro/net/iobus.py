@@ -31,6 +31,8 @@ class IOBus:
         self.name = name
         self.bytes_per_cycle = bytes_per_cycle
         self.queue = FluidQueue(sim, name, bytes_per_cycle=bytes_per_cycle)
+        #: optional metrics registry (None = disabled, single check per DMA)
+        self.metrics = None
 
     def dma_latency(self, nbytes: int) -> int:
         """Enqueue a DMA of ``nbytes``; return its total latency in cycles."""
@@ -38,6 +40,11 @@ class IOBus:
             raise ValueError("negative DMA size")
         if nbytes == 0:
             return 0
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.bump(f"{self.name}.dmas")
+            metrics.bump(f"{self.name}.dma_bytes", nbytes)
+            metrics.sample_queue(f"{self.name}.backlog", self.queue.backlog)
         return self.queue.transfer(nbytes)
 
     @property

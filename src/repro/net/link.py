@@ -51,6 +51,17 @@ class Network:
         self._endpoints: Dict[int, object] = {}
         self.messages_carried = 0
         self.bytes_carried = 0
+        #: optional metrics registry (None = disabled, single check per message)
+        self.metrics = None
+
+    def _count(self, msg: "Message", wire_bytes: int) -> None:
+        self.messages_carried += 1
+        self.bytes_carried += wire_bytes
+        metrics = self.metrics
+        if metrics is not None:
+            kind = msg.kind.name.lower()
+            metrics.bump(f"link.msgs.{kind}")
+            metrics.bump(f"link.bytes.{kind}", wire_bytes)
 
     def attach(self, node_id: int, on_arrival: Callable[["Message", int], None]) -> None:
         """Register the receive hook for a node's NI."""
@@ -77,8 +88,7 @@ class Network:
             receiver = self._receivers[msg.dst_node]
         except KeyError:
             raise ValueError(f"no NI attached for node {msg.dst_node}") from None
-        self.messages_carried += 1
-        self.bytes_carried += wire_bytes
+        self._count(msg, wire_bytes)
         self.sim.schedule(self.latency_cycles, receiver, msg, wire_bytes)
 
     def transit_cycles(self, wire_bytes: int) -> int:
@@ -91,8 +101,7 @@ class Network:
             receiver = self._receivers[msg.dst_node]
         except KeyError:
             raise ValueError(f"no NI attached for node {msg.dst_node}") from None
-        self.messages_carried += 1
-        self.bytes_carried += wire_bytes
+        self._count(msg, wire_bytes)
         self.sim.schedule(self.transit_cycles(wire_bytes), receiver, msg, wire_bytes)
 
     @property

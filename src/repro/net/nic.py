@@ -84,6 +84,8 @@ class NetworkInterface:
         self.overflow_interrupts = 0
         self.messages_dropped = 0
         self.duplicates_suppressed = 0
+        #: optional metrics registry (None = disabled, single check per message)
+        self.metrics = None
 
         if register:
             network.attach(node_id, self._on_arrival)
@@ -160,6 +162,12 @@ class NetworkInterface:
         self.messages_sent += 1
         self.packets_sent += packets
         self.wire_bytes_sent += wire
+        metrics = self.metrics
+        if metrics is not None:
+            kind = msg.kind.name.lower()
+            metrics.bump(f"ni{self.node_id}.sent.{kind}")
+            metrics.bump(f"ni{self.node_id}.sent_bytes.{kind}", wire)
+            metrics.sample_queue(f"{self.iobus.name}.tx_backlog_bytes", self.iobus.backlog_bytes)
         if faults is None:
             self.network.deliver(msg, wire)
             return
@@ -216,6 +224,12 @@ class NetworkInterface:
                 return
             self._delivered.add(key)
         self.messages_received += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.bump(f"ni{self.node_id}.recv.{msg.kind.name.lower()}")
+            metrics.sample_queue(
+                f"ni{self.node_id}.rx_gate.backlog", self.rx_gate.backlog
+            )
         if msg.on_deposit is not None:
             msg.on_deposit.succeed(msg)
         if msg.kind is MessageKind.REQUEST:

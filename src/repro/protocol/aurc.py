@@ -79,7 +79,14 @@ class AURCProtocol(HLRCProtocol):
         pending = [e for e in self._outstanding[proc] if not e.triggered]
         self._outstanding[proc] = []
         if pending:
-            yield from cpu.wait_for(AllOf(ctx.sim, pending), category)
+            metrics = ctx.metrics
+            if metrics is None:
+                yield from cpu.wait_for(AllOf(ctx.sim, pending), category)
+            else:
+                t0 = ctx.sim.now
+                yield from cpu.wait_for(AllOf(ctx.sim, pending), category)
+                metrics.bump("protocol.update_drain.count")
+                metrics.add_cycles("protocol.update_drain", ctx.sim.now - t0)
         d = self.dirty[proc]
         if not d:
             return

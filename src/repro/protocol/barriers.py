@@ -84,6 +84,21 @@ class BarrierManager:
         """Processors of ``node_id`` participating (all of them)."""
         return self.ctx.comm.procs_per_node
 
+    def _mark_phase(self, barrier_id: int, visit: int) -> None:
+        """Record a phase boundary (one per global barrier episode).
+
+        Runs where the merged clock is computed, i.e. exactly once per
+        episode; the cumulative cluster-wide breakdown snapshot lets
+        consumers difference adjacent marks into per-epoch costs.
+        """
+        metrics = self.ctx.metrics
+        if metrics is not None:
+            metrics.phase_mark(
+                self.ctx.sim.now,
+                f"barrier.{barrier_id}.{visit}",
+                self.ctx.aggregate_time(),
+            )
+
     # ------------------------------------------------------------------ #
     def barrier(self, cpu: "Processor", barrier_id: int):
         """Run one barrier arrival for ``cpu``.
@@ -108,6 +123,7 @@ class BarrierManager:
         # this processor is the node's representative
         if ctx.n_nodes == 1:
             ep.merged_vc = self.merge_fn()
+            self._mark_phase(barrier_id, visit)
             ep.node_release(ctx, node_id).succeed()
             return ep.merged_vc
 
@@ -120,6 +136,7 @@ class BarrierManager:
                     ctx.msg.receive_sync(node_id, arrive_tag), "barrier_wait"
                 )
             ep.merged_vc = self.merge_fn()
+            self._mark_phase(barrier_id, visit)
             size = GRANT_BASE_BYTES + self.notice_bytes_fn()
             for other in range(ctx.n_nodes):
                 if other == node_id:

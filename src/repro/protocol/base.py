@@ -57,6 +57,9 @@ class ProtocolContext:
     procs: List["Processor"]
     #: diagnostic: remote page fetches are free (Section 7 attribution)
     free_page_fetches: bool = False
+    #: optional metrics registry (profiling runs only; ``None`` keeps the
+    #: protocol hot paths at a single attribute check)
+    metrics: Optional[Any] = None
 
     @property
     def n_procs(self) -> int:
@@ -80,6 +83,17 @@ class ProtocolContext:
         if node is not None:
             return node.node_id
         return self.node_id_of(cpu.global_id)
+
+    def aggregate_time(self) -> Dict[str, int]:
+        """Cluster-wide per-category cycle totals so far (phase snapshots)."""
+        from repro.arch.processor import TIME_CATEGORIES
+
+        total = {cat: 0 for cat in TIME_CATEGORIES}
+        for cpu in self.procs:
+            time = cpu.stats.time
+            for cat in TIME_CATEGORIES:
+                total[cat] += time[cat]
+        return total
 
 
 class NodeMemoryState:

@@ -111,6 +111,18 @@ class HLRCProtocol:
         return on_request
 
     def _dispatch(self, cpu: "Processor", msg: "Message"):
+        metrics = self.ctx.metrics
+        if metrics is None:
+            yield from self._dispatch_body(cpu, msg)
+            return
+        # Hotspot accounting: cycles and invocations per handler tag
+        # (the profile CLI's "top-N protocol hotspots" table).
+        t0 = self.ctx.sim.now
+        yield from self._dispatch_body(cpu, msg)
+        metrics.bump(f"handler.{msg.tag}.count")
+        metrics.add_cycles(f"handler.{msg.tag}", self.ctx.sim.now - t0)
+
+    def _dispatch_body(self, cpu: "Processor", msg: "Message"):
         tag = msg.tag
         if tag == TAG_PAGE_FETCH:
             yield from self._h_page_fetch(cpu, msg)
@@ -224,10 +236,14 @@ class HLRCProtocol:
             home = ctx.directory.home(page, node_id)
             if home != node_id:
                 by_home.setdefault(home, []).append((page, words))
+        metrics = ctx.metrics
         for home, entries in sorted(by_home.items()):
             create = sum(
                 diff_create_cost(ctx.arch, ctx.comm.page_size, w) for _, w in entries
             )
+            if metrics is not None:
+                metrics.bump("protocol.diff_create.count", len(entries))
+                metrics.add_cycles("protocol.diff_create", create)
             yield from cpu.busy(create, "protocol")
             total_words = sum(w for _, w in entries)
             self.counters.bump("diffs_created", len(entries))

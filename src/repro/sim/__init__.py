@@ -38,13 +38,14 @@ from repro.sim.engine import Simulator, SimulationError
 from repro.sim.primitives import AllOf, AnyOf, Event, Timeout, Waitable
 from repro.sim.process import Process, ProcessCrash
 from repro.sim.resources import FluidQueue, PriorityResource, Resource, Store
-from repro.sim.tracing import NullTracer, TraceRecord, Tracer
+from repro.sim.tracing import NULL_TRACER, NullTracer, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
     "FluidQueue",
+    "NULL_TRACER",
     "NullTracer",
     "PriorityResource",
     "Process",

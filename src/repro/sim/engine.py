@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Set
 
-from repro.sim.tracing import NullTracer, Tracer
+from repro.sim.tracing import NULL_TRACER, Tracer
 
 
 class SimulationError(RuntimeError):
@@ -103,7 +103,7 @@ class Simulator:
         self._seq: int = 0
         self._dispatched: int = 0
         self._running = False
-        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self.watchdog: Optional[Watchdog] = watchdog
         #: live (unfinished) processes, maintained by Process itself
         self._processes: Set["Process"] = set()

@@ -48,9 +48,19 @@ class Tracer:
         if self.kinds is not None and kind not in self.kinds:
             return
         if self.limit is not None and len(self.records) >= self.limit:
-            self.enabled = False
+            self.disable()
             return
         self.records.append(TraceRecord(time, kind, detail))
+
+    def disable(self) -> None:
+        """Stop recording for good (until :meth:`clear`).
+
+        Also drops the kinds filter, so callers that cached the tracer
+        and call :meth:`record` directly fall out on the cheap
+        ``enabled`` check instead of re-testing set membership per event.
+        """
+        self.enabled = False
+        self.kinds = None
 
     def dump(self) -> str:
         """Human-readable rendering of the collected records."""
@@ -62,9 +72,21 @@ class Tracer:
 
 
 class NullTracer(Tracer):
-    """A tracer that never records anything (the default)."""
+    """A tracer that never records anything (the default).
+
+    Stateless, so it is a shared singleton: every ``NullTracer()`` call
+    returns the same instance and bare simulators stop allocating one
+    tracer (plus its empty record list) apiece.
+    """
 
     __slots__ = ()
+
+    _instance: Optional["NullTracer"] = None
+
+    def __new__(cls) -> "NullTracer":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
 
     def __init__(self) -> None:
         super().__init__(limit=0)
@@ -72,3 +94,11 @@ class NullTracer(Tracer):
 
     def record(self, time: int, kind: str, detail: Any) -> None:  # pragma: no cover
         return
+
+    def clear(self) -> None:
+        """A NullTracer never re-enables (it is shared across simulators)."""
+        return
+
+
+#: the process-wide shared no-op tracer
+NULL_TRACER = NullTracer()

@@ -1,0 +1,95 @@
+"""The golden-snapshot gate: bless determinism and one-cycle sensitivity."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "golden_regression.py"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    spec = importlib.util.spec_from_file_location("golden_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("golden_regression", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def tmp_snapshot(golden, tmp_path, monkeypatch):
+    path = tmp_path / "golden_snapshot.json"
+    monkeypatch.setattr(golden, "SNAPSHOT_PATH", path)
+    return path
+
+
+def _fft_only(golden, perturb=0):
+    """Run just the fft points (fast) through the script's machinery."""
+    from repro.apps import get_app
+    from repro.core import run_simulation
+
+    points = {}
+    for tag, app, cfg in golden.grid_points(perturb):
+        if app != "fft":
+            continue
+        trace = get_app(
+            app, page_size=cfg.comm.page_size, scale=golden.SCALE, seed=cfg.seed
+        )
+        result = run_simulation(trace, cfg)
+        obs = golden.observe(result)
+        points[tag] = {
+            "digest": golden.digest(obs),
+            "total_cycles": obs["total_cycles"],
+        }
+    return points
+
+
+def test_check_fails_without_snapshot(golden, tmp_snapshot):
+    assert golden.check({}) == 1
+
+
+def test_bless_then_check_roundtrip(golden, tmp_snapshot):
+    points = _fft_only(golden)
+    golden.bless(points)
+    first = tmp_snapshot.read_bytes()
+    assert golden.check(points) == 0
+    # blessing again must be byte-identical (no timestamps, sorted keys)
+    golden.bless(points)
+    assert tmp_snapshot.read_bytes() == first
+
+
+def test_one_cycle_perturbation_fails_check(golden, tmp_snapshot):
+    """The acceptance demo: +1 handler cycle must flip digests."""
+    golden.bless(_fft_only(golden))
+    perturbed = _fft_only(golden, perturb=1)
+    assert golden.check(perturbed) == 1
+
+
+def test_model_version_mismatch_fails_check(golden, tmp_snapshot, monkeypatch):
+    points = _fft_only(golden)
+    golden.bless(points)
+    monkeypatch.setattr(golden, "MODEL_VERSION", golden.MODEL_VERSION + 1)
+    assert golden.check(points) == 1
+
+
+def test_digest_is_canonical(golden):
+    a = golden.digest({"b": 1, "a": {"y": 2, "x": 3}})
+    b = golden.digest({"a": {"x": 3, "y": 2}, "b": 1})
+    assert a == b
+
+
+def test_committed_snapshot_matches_script_grid(golden):
+    """The committed snapshot must cover exactly the script's grid tags."""
+    import json
+
+    snapshot = json.loads(
+        (REPO_ROOT / "scripts" / "golden_snapshot.json").read_text()
+    )
+    expected_tags = {tag for tag, _, _ in golden.grid_points()}
+    assert set(snapshot["points"]) == expected_tags
+    from repro.core.runcache import MODEL_VERSION
+
+    assert snapshot["model_version"] == MODEL_VERSION

@@ -1,0 +1,65 @@
+"""Tracer semantics: limits, disable, kinds filter, NullTracer singleton."""
+
+from repro.sim import NULL_TRACER, NullTracer, Simulator, Tracer
+
+
+def test_tracer_records_until_limit_then_disables():
+    tracer = Tracer(limit=2)
+    tracer.record(1, "a", None)
+    tracer.record(2, "b", None)
+    assert len(tracer.records) == 2
+    tracer.record(3, "c", None)  # limit trips -> disable()
+    assert len(tracer.records) == 2
+    assert tracer.enabled is False
+    # a cached-reference caller now falls out on the enabled check alone
+    tracer.record(4, "d", None)
+    assert len(tracer.records) == 2
+
+
+def test_tracer_disable_drops_kinds_filter():
+    tracer = Tracer(kinds={"dispatch"})
+    tracer.record(1, "dispatch", "x")
+    tracer.record(1, "other", "y")  # filtered
+    assert len(tracer.records) == 1
+    tracer.disable()
+    assert tracer.enabled is False
+    assert tracer.kinds is None
+
+
+def test_tracer_clear_reenables():
+    tracer = Tracer(limit=1)
+    tracer.record(1, "a", None)
+    tracer.record(2, "b", None)
+    assert not tracer.enabled
+    tracer.clear()
+    assert tracer.enabled
+    tracer.record(3, "c", None)
+    assert [r.kind for r in tracer.records] == ["c"]
+
+
+def test_null_tracer_is_a_singleton():
+    assert NullTracer() is NullTracer()
+    assert NullTracer() is NULL_TRACER
+
+
+def test_null_tracer_never_records_or_reenables():
+    nt = NullTracer()
+    nt.record(1, "a", None)
+    assert nt.records == []
+    nt.clear()  # must NOT re-enable: the instance is shared process-wide
+    assert nt.enabled is False
+    nt.record(2, "b", None)
+    assert nt.records == []
+
+
+def test_bare_simulators_share_the_null_tracer():
+    a, b = Simulator(), Simulator()
+    assert a.tracer is b.tracer is NULL_TRACER
+
+
+def test_simulator_with_real_tracer_still_records():
+    tracer = Tracer()
+    sim = Simulator(tracer=tracer)
+    sim.schedule(5, lambda: None)
+    sim.run()
+    assert any(r.kind == "dispatch" for r in tracer.records)
