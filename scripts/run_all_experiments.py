@@ -12,14 +12,25 @@ persistent disk cache (``results/.runcache/``), so a re-run after an
 interrupted regeneration, or a second regeneration at the same scale, is
 mostly cache hits.  The legacy positional form
 ``run_all_experiments.py 1.0 results/`` still works.
+
+The whole regeneration is **checkpointed**: every completed simulation
+point is journaled under ``results/.checkpoints/run-all-s<scale>/`` and
+every completed driver is recorded once its output files are written.
+SIGINT/SIGTERM drain in-flight points, flush the journal and cache, and
+print the one-line resume command; a SIGKILL costs at most the points in
+flight.  ``--resume`` skips drivers that already completed and replays
+the interrupted driver's finished points from the run cache, producing
+output bit-identical to an uninterrupted run.
 """
 
 import argparse
 import json
 import pathlib
+import sys
 import time
 
-from repro.core.executor import resolve_jobs, set_default_jobs
+from repro.core.checkpoint import SweepCheckpoint, SweepInterrupted
+from repro.core.executor import resolve_jobs, set_default_checkpoint, set_default_jobs
 from repro.experiments import (
     ablations,
     breakdowns,
@@ -76,35 +87,79 @@ DRIVERS = [
 ]
 
 
-def run_all(scale: float, out_dir: pathlib.Path, jobs=None, quiet: bool = False):
+def resume_hint(scale: float, out_dir: pathlib.Path, jobs=None) -> str:
+    """The one-line command that continues an interrupted regeneration."""
+    hint = f"python scripts/run_all_experiments.py --scale {scale:g} --out {out_dir}"
+    if jobs is not None:
+        hint += f" --jobs {jobs}"
+    return hint + " --resume"
+
+
+def run_all(
+    scale: float,
+    out_dir: pathlib.Path,
+    jobs=None,
+    quiet: bool = False,
+    resume: bool = False,
+):
     """Run every driver; returns ``{driver_name: seconds}`` wall-clock timings.
 
     ``jobs`` (when given) becomes the process-wide default worker count,
-    so every driver's grid fans out without per-driver plumbing.
+    so every driver's grid fans out without per-driver plumbing.  Each
+    driver runs under a sweep checkpoint (see the module docstring);
+    ``resume=True`` skips drivers whose completion is journaled and whose
+    output files are still present.
     """
     if jobs is not None:
         set_default_jobs(jobs)
     out_dir.mkdir(parents=True, exist_ok=True)
+    hint = resume_hint(scale, out_dir, jobs)
+    parent_name = f"run-all-s{scale:g}"
+    parent = SweepCheckpoint(parent_name).open(meta={"resume_cmd": hint})
+    done_drivers = parent.completed_keys() if resume else set()
     combined = []
     timings = {}
     t_start = time.time()
     for name, driver in DRIVERS:
+        txt_path = out_dir / f"{name}.txt"
+        json_path = out_dir / f"{name}.json"
+        if (
+            f"driver:{name}" in done_drivers
+            and txt_path.is_file()
+            and json_path.is_file()
+        ):
+            timings[name] = 0.0
+            combined.append(txt_path.read_text().rstrip("\n"))
+            if not quiet:
+                print(
+                    f"[{time.time() - t_start:7.1f}s] {name:<22} "
+                    "already complete (resumed)",
+                    flush=True,
+                )
+            continue
         t0 = time.time()
-        out = driver(scale)
+        # Point-level journal for this driver: a kill mid-driver resumes
+        # from the last completed simulation point, not the last driver.
+        cp = SweepCheckpoint(f"{parent_name}/{name}").open(meta={"resume_cmd": hint})
+        set_default_checkpoint(cp)
+        try:
+            out = driver(scale)
+        finally:
+            set_default_checkpoint(None)
         dt = time.time() - t0
         timings[name] = dt
         text = out.table_str()
-        (out_dir / f"{name}.txt").write_text(text + "\n")
-        (out_dir / f"{name}.json").write_text(
-            json.dumps(out.data, indent=2, default=str) + "\n"
-        )
+        txt_path.write_text(text + "\n")
+        json_path.write_text(json.dumps(out.data, indent=2, default=str) + "\n")
         combined.append(text)
+        parent.record(f"driver:{name}", "done")
         if not quiet:
             print(
                 f"[{time.time() - t_start:7.1f}s] {name:<22} done in {dt:6.1f}s",
                 flush=True,
             )
     (out_dir / "ALL.txt").write_text("\n\n\n".join(combined) + "\n")
+    parent.finalize("complete")
     return timings
 
 
@@ -126,6 +181,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="worker processes per simulation grid (default: REPRO_JOBS or 1; "
         "0 = all cores)",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip drivers journaled complete by a previous (interrupted) "
+        "regeneration at this scale; finished points replay from the run cache",
+    )
     args = parser.parse_args(argv)
     if args.scale is None and args.legacy:
         args.scale = float(args.legacy[0])
@@ -142,7 +203,21 @@ def main(argv=None) -> None:
     args = parse_args(argv)
     jobs = resolve_jobs(args.jobs)
     t0 = time.time()
-    run_all(args.scale, args.out, jobs=jobs)
+    try:
+        run_all(args.scale, args.out, jobs=jobs, resume=args.resume)
+    except SweepInterrupted as exc:
+        print(
+            f"\ninterrupted — completed points are journaled; "
+            f"resume with: {exc.hint}",
+            file=sys.stderr,
+        )
+        raise SystemExit(130)
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted — resume with: {resume_hint(args.scale, args.out, jobs)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(130)
     print(
         f"all experiments written to {args.out}/ "
         f"({time.time() - t0:.1f}s, jobs={jobs})"

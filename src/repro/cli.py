@@ -15,11 +15,20 @@ Commands
     Sweep one communication parameter for one application.
 ``experiment ID``
     Regenerate one of the paper's tables/figures (or an extension study).
-``cache {stats,clear}``
-    Inspect or purge the persistent run cache (``results/.runcache/``).
+``resume [SWEEP]``
+    Continue a checkpointed sweep after a crash or Ctrl-C (bare
+    ``resume`` lists every checkpoint with its progress).
+``cache {stats,verify,clear}``
+    Inspect, integrity-audit, or purge the persistent run cache
+    (``results/.runcache/``).
 
 ``sweep`` and ``experiment`` accept ``--jobs N`` to fan independent
-simulation points across a process pool (0 = all cores).
+simulation points across a process pool (0 = all cores) and
+``--checkpoint [NAME]`` to journal completed points under
+``results/.checkpoints/<NAME>/`` — a checkpointed run killed at any
+instant resumes with ``python -m repro resume NAME`` and produces
+bit-identical results; SIGINT/SIGTERM drain in-flight points and print
+that resume hint instead of a traceback.
 """
 
 from __future__ import annotations
@@ -126,6 +135,50 @@ def _add_jobs_option(parser: argparse.ArgumentParser, what: str) -> None:
         help=f"worker processes for the {what} grid (default: REPRO_JOBS or 1; "
         "0 = all cores)",
     )
+
+
+def _add_checkpoint_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="NAME",
+        help="journal completed points for crash-safe resume "
+        "(`repro resume NAME`); NAME defaults to one derived from the command",
+    )
+
+
+def _run_checkpointed(args: argparse.Namespace, auto_name: str, body):
+    """Run ``body()`` under the sweep checkpoint requested by ``args``.
+
+    Installs the checkpoint process-wide so every ``run_points`` grid the
+    command triggers journals into it, records the original argv so
+    ``repro resume`` can replay the command verbatim, and stamps the
+    final status.  Without ``--checkpoint`` this is just ``body()``.
+    """
+    from repro.core.checkpoint import SweepCheckpoint
+    from repro.core.executor import set_default_checkpoint
+
+    if getattr(args, "checkpoint", None) is None:
+        return body()
+    name = args.checkpoint or auto_name
+    cp = SweepCheckpoint(name)
+    cp.open(
+        meta={
+            "argv": list(getattr(args, "_argv", [])),
+            "resume_cmd": f"python -m repro resume {name}",
+        }
+    )
+    set_default_checkpoint(cp)
+    try:
+        rc = body()
+    except BaseException:
+        set_default_checkpoint(None)
+        raise
+    set_default_checkpoint(None)
+    cp.finalize("complete" if rc == 0 else "failed")
+    return rc
 
 
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -333,15 +386,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 2
     base = _config_from(args)
-    results = sweep_comm_param(
-        args.app, args.param, values, base=base, scale=args.scale, jobs=args.jobs
+
+    def body() -> int:
+        from repro.core.executor import default_checkpoint
+
+        results = sweep_comm_param(
+            args.app, args.param, values, base=base, scale=args.scale, jobs=args.jobs
+        )
+        rows = [[v, round(r.speedup, 2)] for v, r in zip(values, results)]
+        print(format_table([args.param, "speedup"], rows, title=f"{args.app} sweep"))
+        cp = default_checkpoint()
+        if cp is not None:
+            print(f"\n{cp.provenance_note()}")
+        return 0
+
+    return _run_checkpointed(
+        args, f"sweep-{args.app}-{args.param}-s{args.scale:g}", body
     )
-    rows = [[v, round(r.speedup, 2)] for v, r in zip(values, results)]
-    print(format_table([args.param, "speedup"], rows, title=f"{args.app} sweep"))
-    return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.common import attach_checkpoint_note
+
     registry = _experiment_registry()
     if args.id not in registry:
         print(f"unknown experiment {args.id!r}; see `repro list`", file=sys.stderr)
@@ -349,9 +415,67 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     kwargs = {"scale": args.scale, "jobs": args.jobs}
     if args.apps:
         kwargs["apps"] = args.apps
-    out = registry[args.id](**kwargs)
-    print(out.table_str())
-    return 0
+
+    def body() -> int:
+        out = attach_checkpoint_note(registry[args.id](**kwargs))
+        print(out.table_str())
+        return 0
+
+    return _run_checkpointed(args, f"{args.id}-s{args.scale:g}", body)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Continue a checkpointed sweep by replaying its recorded command."""
+    from repro.core.checkpoint import SweepCheckpoint, list_checkpoints
+    from repro.core.executor import set_resume_annotation
+
+    if not args.sweep:
+        sweeps = list_checkpoints()
+        if not sweeps:
+            print("no checkpointed sweeps found")
+            return 0
+        rows = []
+        for cp in sweeps:
+            prog = cp.progress()
+            rows.append([cp.name, prog["done"], prog["failed"], prog["status"]])
+        print(format_table(["sweep", "done", "failed", "status"], rows,
+                           title="Checkpointed sweeps"))
+        print("\nresume one with: python -m repro resume <sweep>")
+        return 0
+
+    try:
+        cp = SweepCheckpoint(args.sweep)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not cp.exists:
+        known = ", ".join(c.name for c in list_checkpoints()) or "none"
+        print(
+            f"error: no checkpoint named {args.sweep!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    argv = cp.meta().get("argv")
+    if not isinstance(argv, list) or not argv:
+        print(
+            f"error: checkpoint {args.sweep!r} records no replayable command "
+            "(it was created programmatically; re-run its driver instead)",
+            file=sys.stderr,
+        )
+        return 2
+    argv = [str(a) for a in argv]
+    print(f"resuming sweep '{cp.name}': repro {' '.join(argv)}\n")
+    replay = build_parser().parse_args(argv)
+    replay._argv = argv
+    if hasattr(replay, "checkpoint"):
+        replay.checkpoint = cp.name  # pin, in case the name was auto-derived
+    if args.jobs is not None and hasattr(replay, "jobs"):
+        replay.jobs = args.jobs
+    set_resume_annotation(True)
+    try:
+        return _dispatch(replay)
+    finally:
+        set_resume_annotation(False)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -368,6 +492,24 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"entries:       {stats['entries']}")
         print(f"size:          {stats['bytes'] / (1 << 20):.2f} MiB")
         print(f"model version: {stats['model_version']}")
+        print(f"in quarantine: {stats['in_quarantine']}")
+        return 0
+    if args.action == "verify":
+        if cache is None:
+            print("disk cache disabled (REPRO_DISK_CACHE=0); nothing to verify")
+            return 0
+        report = cache.verify()
+        print(f"cache root:  {report['root']}")
+        print(f"ok:          {report['ok']}")
+        print(f"stale:       {report['stale']} (older model/format; left in place)")
+        print(f"quarantined: {report['quarantined']}")
+        for name in report["quarantined_files"]:
+            print(f"  -> {report['quarantine_dir']}/{name}")
+        if report["quarantined"]:
+            print(
+                "\ncorrupt records were moved aside and will be recomputed "
+                "on their next use"
+            )
         return 0
     # clear
     if cache is None:
@@ -416,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="sweep one communication parameter")
     _add_jobs_option(p_sweep, "sweep")
+    _add_checkpoint_option(p_sweep)
     p_sweep.add_argument("app")
     p_sweep.add_argument(
         "param",
@@ -437,30 +580,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--scale", type=float, default=0.5)
     p_exp.add_argument("--apps", nargs="*", default=None)
     _add_jobs_option(p_exp, "experiment")
+    _add_checkpoint_option(p_exp)
 
-    p_cache = sub.add_parser("cache", help="inspect or purge the persistent run cache")
-    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_res = sub.add_parser(
+        "resume", help="continue a checkpointed sweep (bare: list checkpoints)"
+    )
+    p_res.add_argument(
+        "sweep", nargs="?", default=None, help="sweep name under results/.checkpoints/"
+    )
+    _add_jobs_option(p_res, "resumed")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect, integrity-audit, or purge the persistent run cache"
+    )
+    p_cache.add_argument("action", choices=("stats", "verify", "clear"))
 
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
         "profile": cmd_profile,
         "sweep": cmd_sweep,
         "experiment": cmd_experiment,
+        "resume": cmd_resume,
         "cache": cmd_cache,
     }
+    return handlers[args.command](args)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core.checkpoint import SweepInterrupted
+
+    argv_list = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(argv_list)
+    args._argv = argv_list
     try:
-        return handlers[args.command](args)
+        return _dispatch(args)
     except ValueError as exc:
         # Bad parameter combinations (config validation, sweep values…)
         # are user errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except SweepInterrupted as exc:
+        # Graceful shutdown: in-flight points were drained and journaled.
+        print(
+            f"\ninterrupted: {exc.done}/{exc.total} points journaled — "
+            f"resume with: {exc.hint}",
+            file=sys.stderr,
+        )
+        return 130
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,6 +10,7 @@ Typical use::
     print(result.speedup, result.time_breakdown())
 """
 
+from repro.core.checkpoint import SweepCheckpoint, SweepInterrupted
 from repro.core.cluster import Cluster, Node
 from repro.core.config import ClusterConfig
 from repro.core.metrics import RunResult, geometric_mean
@@ -22,6 +23,8 @@ __all__ = [
     "MetricsRegistry",
     "Node",
     "RunResult",
+    "SweepCheckpoint",
+    "SweepInterrupted",
     "geometric_mean",
     "run_simulation",
 ]

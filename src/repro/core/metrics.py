@@ -12,6 +12,7 @@ Definitions follow the paper:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
@@ -80,6 +81,16 @@ class RunResult:
                 s.time["compute"] + s.time["local_stall"] for s in self.proc_stats
             )
         return self.serial_cycles / max(1, busiest)
+
+    def with_meta(self, **extra: float) -> "RunResult":
+        """Copy of this result with extra :attr:`meta` keys.
+
+        Used for presentation-layer annotations — e.g. resume provenance
+        (``python -m repro resume`` tags exported records with
+        ``resume.*`` keys) — without mutating the original, so cached
+        records and bit-identical-replay guarantees are untouched.
+        """
+        return dataclasses.replace(self, meta={**self.meta, **extra})
 
     def slowdown_vs(self, other: "RunResult") -> float:
         """Fractional slowdown of *this* run relative to ``other``

@@ -16,8 +16,10 @@ from repro.core.sweeps import clear_caches
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_disk_cache(tmp_path_factory):
     root = tmp_path_factory.mktemp("runcache")
+    checkpoints = tmp_path_factory.mktemp("checkpoints")
     mp = pytest.MonkeyPatch()
     mp.setenv("REPRO_CACHE_DIR", str(root))
+    mp.setenv("REPRO_CHECKPOINT_DIR", str(checkpoints))
     mp.delenv("REPRO_JOBS", raising=False)
     runcache.reset_disk_cache()
     yield

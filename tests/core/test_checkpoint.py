@@ -1,0 +1,172 @@
+"""Sweep checkpoint journal: append/load, resume bookkeeping, executor wiring."""
+
+import json
+
+import pytest
+
+from repro.core import runcache
+from repro.core.checkpoint import (
+    SweepCheckpoint,
+    list_checkpoints,
+    validate_sweep_name,
+)
+from repro.core.config import ClusterConfig
+from repro.core.executor import run_points, set_default_checkpoint
+from repro.core.sweeps import clear_caches
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def fresh(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "cp"))
+    runcache.reset_disk_cache()
+    clear_caches()
+    yield tmp_path
+    set_default_checkpoint(None)
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+def _grid(n=3):
+    base = ClusterConfig()
+    return [
+        ("lu", SCALE, base.with_comm(interrupt_cost=500 * i)) for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# journal mechanics
+# --------------------------------------------------------------------- #
+def test_record_load_roundtrip(fresh):
+    cp = SweepCheckpoint("unit/roundtrip").open()
+    cp.record("k1", "done", app="lu", scale=SCALE)
+    cp.record("k2", "failed", kind="deadline", error="boom")
+    records = cp.load()
+    assert [r["key"] for r in records] == ["k1", "k2"]
+    assert records[0]["status"] == "done" and records[0]["app"] == "lu"
+    assert records[1]["kind"] == "deadline"
+    assert cp.completed_keys() == {"k1"}
+    assert cp.failed_keys() == {"k2"}
+
+
+def test_record_is_idempotent_per_key_status(fresh):
+    cp = SweepCheckpoint("unit/idem").open()
+    cp.record("k", "done")
+    cp.record("k", "done")
+    assert len(cp.load()) == 1
+    # a *status change* does append — last status wins on load
+    cp.record("k", "failed")
+    fresh_view = SweepCheckpoint("unit/idem")
+    assert fresh_view.completed_keys() == set()
+    assert fresh_view.failed_keys() == {"k"}
+
+
+def test_torn_tail_is_skipped_not_fatal(fresh):
+    cp = SweepCheckpoint("unit/torn").open()
+    cp.record("k1", "done")
+    cp.record("k2", "done")
+    # simulate a kill mid-append: garbage half-line at the end
+    with open(cp.journal_path, "ab") as fh:
+        fh.write(b'{"key": "k3", "sta')
+    reopened = SweepCheckpoint("unit/torn").open()
+    assert reopened.completed_keys() == {"k1", "k2"}
+    assert reopened.corrupt_lines == 1
+
+
+def test_meta_written_once_and_finalized(fresh):
+    cp = SweepCheckpoint("unit/meta").open(meta={"resume_cmd": "do it again"})
+    assert cp.meta()["status"] == "running"
+    assert cp.resume_hint() == "do it again"
+    # reopening must not clobber the original meta
+    SweepCheckpoint("unit/meta").open(meta={"resume_cmd": "clobbered"})
+    assert cp.meta()["resume_cmd"] == "do it again"
+    cp.finalize("interrupted")
+    assert cp.meta()["status"] == "interrupted"
+    assert json.loads(cp.meta_path.read_text())["sweep"] == "unit/meta"
+
+
+@pytest.mark.parametrize("bad", ["", "../evil", "/abs", "a//b", "a\\b", ".hidden"])
+def test_invalid_sweep_names_rejected(bad):
+    with pytest.raises(ValueError):
+        validate_sweep_name(bad)
+
+
+def test_valid_sweep_names_pass():
+    assert validate_sweep_name("run-all-s1.0/figure01") == "run-all-s1.0/figure01"
+    assert validate_sweep_name("sweep-lu-host_overhead-s0.05")
+
+
+def test_list_checkpoints_finds_nested_sweeps(fresh):
+    SweepCheckpoint("solo").open()
+    SweepCheckpoint("run-all-s1/figure01").open()
+    names = [cp.name for cp in list_checkpoints()]
+    assert "solo" in names and "run-all-s1/figure01" in names
+
+
+# --------------------------------------------------------------------- #
+# executor integration
+# --------------------------------------------------------------------- #
+def test_run_points_journals_every_outcome(fresh):
+    grid = _grid()
+    run_points(grid, jobs=1, checkpoint="itest/all-done")
+    cp = SweepCheckpoint("itest/all-done")
+    keys = {runcache.content_key(a, s, c) for a, s, c in grid}
+    assert cp.completed_keys() == keys
+    assert cp.meta()["model_version"] == runcache.MODEL_VERSION
+
+
+def test_resume_serves_journaled_points_from_cache(fresh):
+    grid = _grid()
+    first = run_points(grid, jobs=1, checkpoint="itest/resume")
+    clear_caches()  # drop memory layer; disk cache + journal survive
+    cp = SweepCheckpoint("itest/resume")
+    second = run_points(grid, jobs=1, checkpoint=cp)
+    assert cp.resumed_points == len(grid)
+    assert cp.recomputed_points == 0
+    assert first == second  # bit-identical: same cached records
+
+
+def test_journal_done_but_cache_missing_recomputes(fresh):
+    grid = _grid()
+    first = run_points(grid, jobs=1, checkpoint="itest/recompute")
+    clear_caches(disk=True)  # the journal now "lies": done but no data
+    cp = SweepCheckpoint("itest/recompute")
+    second = run_points(grid, jobs=1, checkpoint=cp)
+    assert cp.recomputed_points == len(grid)
+    assert first == second  # deterministic simulation: same results anyway
+
+
+def test_failed_points_are_journaled_failed(fresh):
+    grid = [("lu", SCALE, ClusterConfig()), ("no-such-app", SCALE, ClusterConfig())]
+    run_points(grid, jobs=1, retries=0, strict=False, checkpoint="itest/failures")
+    cp = SweepCheckpoint("itest/failures")
+    assert len(cp.completed_keys()) == 1
+    failed = cp.failed_keys()
+    assert failed == {runcache.content_key("no-such-app", SCALE, ClusterConfig())}
+    rec = [r for r in cp.load() if r["status"] == "failed"][0]
+    assert rec["kind"] == "error" and "unknown application" in rec["error"]
+
+
+def test_default_checkpoint_wires_unmodified_callers(fresh):
+    cp = SweepCheckpoint("itest/default").open()
+    set_default_checkpoint(cp)
+    try:
+        run_points(_grid(2), jobs=1)  # no checkpoint argument at all
+    finally:
+        set_default_checkpoint(None)
+    assert len(cp.completed_keys()) == 2
+    note = cp.provenance_note()
+    assert "2 point(s) journaled" in note
+
+
+def test_parallel_run_journals_eagerly_and_completely(fresh):
+    grid = _grid(4)
+    run_points(grid, jobs=2, checkpoint="itest/parallel")
+    cp = SweepCheckpoint("itest/parallel")
+    assert cp.completed_keys() == {
+        runcache.content_key(a, s, c) for a, s, c in grid
+    }
+    prog = cp.progress()
+    assert prog["done"] == 4 and prog["failed"] == 0

@@ -125,3 +125,22 @@ def test_resolve_jobs_precedence(monkeypatch):
 def test_resolve_jobs_ignores_garbage_env(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "not-a-number")
     assert resolve_jobs() == 1
+
+
+def test_jobs_zero_means_all_cores(monkeypatch):
+    import os
+
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert resolve_jobs() == (os.cpu_count() or 1)
+    assert resolve_jobs(-3) == 1  # negatives clamp to serial, not crash
+
+
+def test_single_point_grid_runs_serial_even_with_jobs(fresh):
+    """One unique point (after dedup) must not pay process-pool startup."""
+    base = ClusterConfig()
+    pts = [("lu", GRID_SCALE, base)] * 4  # dedups to a single point
+    results = run_points(pts, jobs=8)
+    assert len(results) == 4
+    assert all(r is results[0] for r in results)

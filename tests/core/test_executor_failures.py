@@ -89,3 +89,26 @@ def test_all_points_failing_still_structured(fresh):
     with pytest.raises(GridExecutionError) as exc:
         run_points(grid, jobs=2, retries=0)
     assert len(exc.value.failures) == 2
+
+
+def test_grid_error_message_is_bounded(fresh):
+    """A 1000-point failed grid must not produce a 1000-line exception."""
+    from repro.core.executor import MAX_SUMMARIZED_FAILURES
+
+    n = MAX_SUMMARIZED_FAILURES + 5
+    grid = [(f"missing-app-{i}", SCALE, ClusterConfig()) for i in range(n)]
+    with pytest.raises(GridExecutionError) as exc:
+        run_points(grid, jobs=2, retries=0)
+    message = str(exc.value)
+    assert len(exc.value.failures) == n  # nothing dropped from the data
+    assert message.count("  - missing-app-") == MAX_SUMMARIZED_FAILURES
+    assert "... and 5 more failures (all carried in .failures)" in message
+
+
+def test_small_failed_grid_message_is_complete(fresh):
+    grid = [POISON, ("also-missing", SCALE, ClusterConfig())]
+    with pytest.raises(GridExecutionError) as exc:
+        run_points(grid, jobs=1, retries=0)
+    message = str(exc.value)
+    assert "no-such-app" in message and "also-missing" in message
+    assert "more failure" not in message

@@ -1,0 +1,86 @@
+"""Per-point resource guards: wall-clock deadline and RSS ceiling.
+
+The chaos hooks (``REPRO_CHAOS_POINT_DELAY_S`` / ``REPRO_CHAOS_POINT_ALLOC_MB``)
+run *inside* the guarded region, so a breach is provoked deterministically
+without depending on how slow or memory-hungry a real simulation is.
+"""
+
+import pytest
+
+from repro.core import runcache
+from repro.core.config import ClusterConfig
+from repro.core.executor import (
+    PointFailure,
+    resolve_deadline,
+    resolve_rss_limit,
+    run_points,
+)
+from repro.core.metrics import RunResult
+from repro.core.sweeps import clear_caches
+
+SCALE = 0.05
+POINT = ("lu", SCALE, ClusterConfig())
+
+
+@pytest.fixture
+def fresh(tmp_path, monkeypatch):
+    """Guards only apply to *computed* points, so force a cache miss."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_POINT_DEADLINE_S", raising=False)
+    monkeypatch.delenv("REPRO_POINT_RSS_MB", raising=False)
+    runcache.reset_disk_cache()
+    clear_caches()
+    yield
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+def test_deadline_breach_is_retriable_failure(fresh, monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS_POINT_DELAY_S", "5.0")
+    results = run_points([POINT], jobs=1, retries=1, strict=False, deadline_s=0.2)
+    failure = results[0]
+    assert isinstance(failure, PointFailure)
+    assert failure.kind == "deadline"
+    assert failure.attempts == 2  # the breach went through the retry loop
+    assert "[deadline]" in str(failure)
+
+
+def test_rss_breach_is_retriable_failure(fresh, monkeypatch):
+    # ballast far above the ceiling: the allocation itself must fail
+    monkeypatch.setenv("REPRO_CHAOS_POINT_ALLOC_MB", "16384")
+    results = run_points([POINT], jobs=1, retries=0, strict=False, rss_mb=1024)
+    failure = results[0]
+    assert isinstance(failure, PointFailure)
+    assert failure.kind == "rss"
+    assert "MemoryError" in failure.error
+
+
+def test_guarded_point_still_succeeds_within_limits(fresh):
+    results = run_points([POINT], jobs=1, deadline_s=300.0, rss_mb=16384)
+    assert isinstance(results[0], RunResult)
+    # and the guard was torn down: a follow-up unguarded run is unaffected
+    clear_caches(disk=True)
+    assert isinstance(run_points([POINT], jobs=1)[0], RunResult)
+
+
+def test_breached_point_is_not_cached(fresh, monkeypatch):
+    from repro.core.sweeps import cached_lookup
+
+    monkeypatch.setenv("REPRO_CHAOS_POINT_DELAY_S", "5.0")
+    run_points([POINT], jobs=1, retries=0, strict=False, deadline_s=0.2)
+    assert cached_lookup(*POINT) is None
+
+
+def test_resolve_guard_envs(monkeypatch):
+    assert resolve_deadline() is None
+    assert resolve_rss_limit() is None
+    monkeypatch.setenv("REPRO_POINT_DEADLINE_S", "12.5")
+    monkeypatch.setenv("REPRO_POINT_RSS_MB", "256")
+    assert resolve_deadline() == 12.5
+    assert resolve_rss_limit() == 256
+    assert resolve_deadline(3.0) == 3.0  # explicit beats env
+    assert resolve_rss_limit(512) == 512
+    monkeypatch.setenv("REPRO_POINT_DEADLINE_S", "garbage")
+    monkeypatch.setenv("REPRO_POINT_RSS_MB", "-1")
+    assert resolve_deadline() is None
+    assert resolve_rss_limit() is None

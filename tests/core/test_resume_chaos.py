@@ -1,0 +1,199 @@
+"""Kill-and-resume chaos tests: the acceptance gate for crash-safe sweeps.
+
+A checkpointed sweep subprocess is killed mid-run (SIGKILL — no cleanup
+of any kind), resumed, and its merged results must be *byte-identical*
+to an uninterrupted run.  A second case sends SIGTERM and checks the
+graceful drain: exit code 130, a one-line resume hint, no traceback.
+
+``REPRO_CHAOS_POINT_DELAY_S`` stretches every computed point so the kill
+reliably lands mid-sweep; the delay changes nothing about the results.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: driver executed as the sweep subprocess: runs a 6-point checkpointed
+#: grid and writes a canonical JSON serialization of every result field.
+CHILD = """
+import dataclasses, json, pathlib, sys
+
+from repro.core.config import ClusterConfig
+from repro.core.executor import run_points
+
+out_path = pathlib.Path(sys.argv[1])
+base = ClusterConfig()
+grid = [
+    ("lu", 0.05, base.with_comm(interrupt_cost=c))
+    for c in (0, 200, 400, 600, 800, 1000)
+]
+results = run_points(grid, jobs=2, checkpoint="chaos")
+canon = json.dumps(
+    [
+        {
+            "app": r.app_name,
+            "config": dataclasses.asdict(r.config),
+            "total_cycles": r.total_cycles,
+            "serial_cycles": r.serial_cycles,
+            "proc_stats": [
+                {"time": s.time, "counters": sorted(s.counters.items())}
+                for s in r.proc_stats
+            ],
+            "counters": dataclasses.asdict(r.counters),
+            "meta": sorted(r.meta.items()),
+        }
+        for r in results
+    ],
+    sort_keys=True,
+    default=repr,
+)
+out_path.write_text(canon)
+"""
+
+TOTAL_POINTS = 6
+
+
+def _env(tmp: pathlib.Path, delay: str = "0") -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp / "cache")
+    env["REPRO_CHECKPOINT_DIR"] = str(tmp / "cp")
+    env["REPRO_CHAOS_POINT_DELAY_S"] = delay
+    env.pop("REPRO_JOBS", None)
+    return env
+
+
+def _journal_done(tmp: pathlib.Path, sweep: str = "chaos") -> int:
+    path = tmp / "cp" / sweep / "journal.jsonl"
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return 0
+    done = 0
+    for line in raw.splitlines():
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue  # torn tail mid-kill: exactly what load() tolerates
+        if isinstance(rec, dict) and rec.get("status") == "done":
+            done += 1
+    return done
+
+
+def _wait_for_partial_progress(proc, tmp, timeout=120.0):
+    """Block until ≥1 point is journaled but the sweep is still incomplete."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            pytest.fail(
+                "sweep subprocess finished before the kill landed "
+                f"(rc={proc.returncode}); raise REPRO_CHAOS_POINT_DELAY_S"
+            )
+        done = _journal_done(tmp)
+        if 1 <= done < TOTAL_POINTS:
+            return done
+        time.sleep(0.05)
+    pytest.fail("no journal progress within timeout")
+
+
+def _run_child(script: pathlib.Path, out: pathlib.Path, env: dict) -> None:
+    subprocess.run(
+        [sys.executable, str(script), str(out)],
+        env=env,
+        check=True,
+        timeout=600,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_sigkill_then_resume_is_bit_identical(tmp_path):
+    script = tmp_path / "chaos_child.py"
+    script.write_text(CHILD)
+
+    # --- reference: one uninterrupted run in its own cache/journal dirs
+    ref_dir = tmp_path / "ref"
+    ref_out = tmp_path / "ref.json"
+    _run_child(script, ref_out, _env(ref_dir))
+
+    # --- chaos: SIGKILL the sweep mid-run, then resume it
+    chaos_dir = tmp_path / "chaos"
+    chaos_out = tmp_path / "chaos.json"
+    proc = subprocess.Popen(
+        [sys.executable, str(script), str(chaos_out)],
+        env=_env(chaos_dir, delay="1.0"),
+        cwd=REPO_ROOT,
+    )
+    try:
+        done_at_kill = _wait_for_partial_progress(proc, chaos_dir)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on test failure
+            proc.kill()
+    assert proc.returncode == -signal.SIGKILL
+    assert not chaos_out.exists(), "killed run must not have produced output"
+    # the journal survived the kill with the pre-kill progress intact
+    assert _journal_done(chaos_dir) >= done_at_kill
+
+    # --- resume: same command, no chaos delay needed the second time
+    _run_child(script, chaos_out, _env(chaos_dir))
+    assert _journal_done(chaos_dir) == TOTAL_POINTS
+    assert chaos_out.read_bytes() == ref_out.read_bytes()
+
+
+def test_sigterm_drains_and_prints_resume_hint(tmp_path):
+    """Graceful shutdown through the CLI: exit 130 + hint, no traceback."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "sweep",
+        "lu",
+        "host_overhead",
+        *[str(v) for v in (0, 300, 600, 900, 1200, 1500)],
+        "--scale",
+        "0.05",
+        "--jobs",
+        "2",
+        "--checkpoint",
+        "termsweep",
+    ]
+    proc = subprocess.Popen(
+        argv,
+        env=_env(tmp_path, delay="1.0"),
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                pytest.fail(
+                    f"sweep finished before SIGTERM landed (rc={proc.returncode})"
+                )
+            if _journal_done(tmp_path, "termsweep") >= 1:
+                break
+            time.sleep(0.05)
+        else:  # pragma: no cover - timing failure
+            pytest.fail("no journal progress within timeout")
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on test failure
+            proc.kill()
+    assert proc.returncode == 130, f"stdout:\n{stdout}\nstderr:\n{stderr}"
+    assert "resume with:" in stderr
+    assert "python -m repro resume termsweep" in stderr
+    assert "Traceback" not in stderr
+    # everything journaled before/during the drain is real progress
+    assert 1 <= _journal_done(tmp_path, "termsweep") <= TOTAL_POINTS

@@ -1,0 +1,175 @@
+"""Run-cache integrity: checksummed envelopes, quarantine, advisory locking."""
+
+import pickle
+
+import pytest
+
+from repro.core import runcache
+from repro.core.config import ClusterConfig
+from repro.core.fslock import LockTimeout, file_lock, lock_holder
+from repro.core.metrics import RunResult
+from repro.core.sweeps import cached_run
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return runcache.DiskCache(tmp_path / "rc")
+
+
+def _result() -> RunResult:
+    # served from the session-level run cache after the first call
+    return cached_run("lu", SCALE, ClusterConfig())
+
+
+def _record(cache: runcache.DiskCache, key: str = "k" * 8) -> str:
+    cache.put(key, _result())
+    return key
+
+
+# --------------------------------------------------------------------- #
+# quarantine on corruption
+# --------------------------------------------------------------------- #
+def test_roundtrip_ok(cache):
+    key = _record(cache)
+    got = cache.get(key)
+    assert got is not None and got.app_name == "lu"
+    assert cache.hits == 1 and cache.quarantined == 0
+
+
+def test_garbage_bytes_quarantined_not_crash(cache):
+    key = _record(cache)
+    path = cache._path(key)
+    path.write_bytes(b"not a pickle at all")
+    assert cache.get(key) is None  # a miss, never an exception
+    assert cache.quarantined == 1
+    assert not path.exists()
+    assert (cache.quarantine_dir / path.name).exists()
+
+
+def test_truncated_record_quarantined(cache):
+    key = _record(cache)
+    path = cache._path(key)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    assert cache.get(key) is None
+    assert (cache.quarantine_dir / path.name).exists()
+
+
+def test_checksum_mismatch_quarantined(cache):
+    """A well-formed envelope whose payload no longer matches its sha256 —
+    the exact signature of silent bit-rot — must never be handed back."""
+    key = _record(cache)
+    path = cache._path(key)
+    with open(path, "rb") as fh:
+        envelope = pickle.load(fh)
+    payload = bytearray(envelope["payload"])
+    payload[len(payload) // 2] ^= 0xFF  # flip one byte mid-payload
+    envelope["payload"] = bytes(payload)
+    with open(path, "wb") as fh:
+        pickle.dump(envelope, fh)
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert (cache.quarantine_dir / path.name).exists()
+
+
+def test_stale_version_is_miss_but_not_quarantined(cache):
+    key = _record(cache)
+    path = cache._path(key)
+    with open(path, "rb") as fh:
+        envelope = pickle.load(fh)
+    envelope["model_version"] = runcache.MODEL_VERSION - 1
+    with open(path, "wb") as fh:
+        pickle.dump(envelope, fh)
+    assert cache.get(key) is None
+    assert cache.quarantined == 0
+    assert path.exists()  # valid history stays in place
+
+
+def test_poisoned_record_recovers_on_rewrite(cache):
+    key = _record(cache)
+    cache._path(key).write_bytes(b"\x00" * 32)
+    assert cache.get(key) is None  # quarantined
+    cache.put(key, _result())  # a recompute rewrites the slot
+    assert cache.get(key) is not None
+
+
+# --------------------------------------------------------------------- #
+# cache verify (the `repro cache verify` audit)
+# --------------------------------------------------------------------- #
+def test_verify_counts_every_disposition(cache):
+    ok_key = _record(cache, "a" * 8)
+    bad_key = _record(cache, "b" * 8)
+    stale_key = _record(cache, "c" * 8)
+    cache._path(bad_key).write_bytes(b"rot")
+    with open(cache._path(stale_key), "rb") as fh:
+        envelope = pickle.load(fh)
+    envelope["format"] = 1
+    with open(cache._path(stale_key), "wb") as fh:
+        pickle.dump(envelope, fh)
+
+    report = cache.verify()
+    assert report["ok"] == 1 and report["stale"] == 1
+    assert report["quarantined"] == 1
+    assert report["quarantined_files"] == [cache._path(bad_key).name]
+    assert cache.get(ok_key) is not None
+    # a second audit is clean: the corrupt record is already moved aside
+    assert cache.verify()["quarantined"] == 0
+
+
+def test_stats_reports_quarantine_depth(cache):
+    key = _record(cache)
+    cache._path(key).write_bytes(b"rot")
+    cache.get(key)
+    stats = cache.stats()
+    assert stats["session_quarantined"] == 1
+    assert stats["in_quarantine"] == 1
+
+
+def test_clear_empties_quarantine_too(cache):
+    key = _record(cache)
+    cache._path(key).write_bytes(b"rot")
+    cache.get(key)
+    cache.clear()
+    assert cache.entries() == []
+    assert list(cache.quarantine_dir.glob("*.pkl")) == []
+
+
+# --------------------------------------------------------------------- #
+# advisory locking
+# --------------------------------------------------------------------- #
+def test_file_lock_mutual_exclusion(tmp_path):
+    lock = tmp_path / ".lock"
+    with file_lock(lock):
+        with pytest.raises(LockTimeout):
+            with file_lock(lock, timeout=0.2):
+                pass  # pragma: no cover - must not be reached
+
+
+def test_lock_timeout_names_the_holder(tmp_path):
+    import os
+
+    lock = tmp_path / ".lock"
+    with file_lock(lock):
+        assert lock_holder(lock) == os.getpid()
+        with pytest.raises(LockTimeout) as exc:
+            with file_lock(lock, timeout=0.2):
+                pass  # pragma: no cover
+        assert str(os.getpid()) in str(exc.value)
+
+
+def test_stale_lock_file_is_not_a_held_lock(tmp_path):
+    """flock dies with its holder: a leftover lock *file* (e.g. after
+    SIGKILL) must acquire instantly — no manual cleanup step."""
+    lock = tmp_path / ".lock"
+    lock.write_text("999999\n")  # plausible-looking dead pid
+    with file_lock(lock, timeout=0.5):
+        assert lock_holder(lock) != 999999  # rewritten to the live holder
+
+
+def test_lock_holder_unreadable_is_none(tmp_path):
+    assert lock_holder(tmp_path / "missing") is None
+    bad = tmp_path / "bad"
+    bad.write_text("not-a-pid")
+    assert lock_holder(bad) is None
