@@ -80,7 +80,13 @@ def observe(result) -> dict:
         "serial_cycles": result.serial_cycles,
         "time_breakdown": result.time_breakdown(),
         "counters": counters,
-        "meta": {k: result.meta[k] for k in sorted(result.meta)},
+        # verify.* keys describe the oracle bookkeeping, not simulated
+        # behaviour — excluded so --verify replays the very same digests
+        "meta": {
+            k: result.meta[k]
+            for k in sorted(result.meta)
+            if not k.startswith("verify.")
+        },
     }
 
 
@@ -89,9 +95,18 @@ def digest(observable: dict) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def run_grid(perturb: int = 0) -> dict:
+def run_grid(perturb: int = 0, verify: bool = False) -> "tuple[dict, list]":
+    """Run the grid; returns (points, oracle_failures).
+
+    With ``verify`` the happens-before oracle rides along on every point:
+    digests must still match the snapshot (verification is passive) and
+    any :class:`ConsistencyViolation` is collected as a failure.
+    """
     points = {}
+    oracle_failures = []
     for tag, app, cfg in grid_points(perturb):
+        if verify:
+            cfg = cfg.replace(verify=True)
         trace = get_app(
             app, page_size=cfg.comm.page_size, scale=SCALE, seed=cfg.seed
         )
@@ -101,8 +116,20 @@ def run_grid(perturb: int = 0) -> dict:
             "digest": digest(obs),
             "total_cycles": obs["total_cycles"],
         }
-        print(f"  {tag:<18} total={obs['total_cycles']:>12}  {points[tag]['digest'][:16]}")
-    return points
+        suffix = ""
+        if verify:
+            n_viol = len(result.violations)
+            suffix = (
+                f"  verify={int(result.meta['verify.events'])}ev/"
+                f"{n_viol}viol"
+            )
+            if n_viol:
+                oracle_failures.append((tag, result.violations))
+        print(
+            f"  {tag:<18} total={obs['total_cycles']:>12}  "
+            f"{points[tag]['digest'][:16]}{suffix}"
+        )
+    return points, oracle_failures
 
 
 def bless(points: dict) -> None:
@@ -166,8 +193,22 @@ def main(argv=None) -> int:
         help="add CYCLES to handler_base_cycles (sensitivity demo; a "
         "single cycle must fail --check)",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the happens-before conformance oracle on every "
+        "point (digests must be unchanged; any violation fails)",
+    )
     args = parser.parse_args(argv)
-    points = run_grid(perturb=args.perturb)
+    points, oracle_failures = run_grid(perturb=args.perturb, verify=args.verify)
+    if oracle_failures:
+        print("conformance oracle FAILED:")
+        for tag, violations in oracle_failures:
+            for v in violations[:5]:
+                print(f"  - {tag}: {v}")
+            if len(violations) > 5:
+                print(f"  - {tag}: … and {len(violations) - 5} more")
+        return 1
     if args.bless:
         bless(points)
         return 0

@@ -274,6 +274,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
     config = _config_from(args)
+    if getattr(args, "verify", False):
+        config = config.replace(verify=True)
     app = get_app(
         args.app, page_size=args.page_size, scale=args.scale, seed=args.seed
     )
@@ -288,6 +290,61 @@ def cmd_run(args: argparse.Namespace) -> int:
     ]
     print()
     print(format_table(["category", "cycles", "share"], rows, title="Time breakdown"))
+    if config.verify:
+        print()
+        print(_verify_verdict(args.app, result))
+        if result.violations:
+            return 1
+    return 0
+
+
+def _verify_verdict(label: str, result) -> str:
+    """One-line oracle verdict for a verified run."""
+    events = int(result.meta.get("verify.events", 0))
+    n = len(result.violations)
+    if not n:
+        return f"verify OK: {label}: {events} protocol events checked, 0 violations"
+    lines = [
+        f"verify FAILED: {label}: {n} violation(s) in {events} protocol events"
+    ]
+    lines += [f"  - {v}" for v in result.violations[:10]]
+    if n > 10:
+        lines.append(f"  … and {n - 10} more")
+    return "\n".join(lines)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the happens-before conformance oracle on an app or a replay."""
+    if args.replay:
+        from repro.verify.artifacts import (
+            config_from_dict,
+            load_artifact,
+            trace_from_artifact,
+        )
+
+        payload = load_artifact(args.replay)
+        config = config_from_dict(payload["config"]).replace(verify=True)
+        app = trace_from_artifact(payload)
+        label = f"replay {args.replay}"
+    else:
+        if not args.app:
+            print("error: give an application name or --replay FILE", file=sys.stderr)
+            return 2
+        err = _check_app(args.app)
+        if err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        config = _config_from(args).replace(verify=True)
+        app = get_app(
+            args.app, page_size=args.page_size, scale=args.scale, seed=args.seed
+        )
+        label = args.app
+    result = run_simulation(app, config)
+    verdict = _verify_verdict(label, result)
+    if result.violations:
+        print(verdict, file=sys.stderr)
+        return 1
+    print(verdict)
     return 0
 
 
@@ -533,8 +590,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one application")
     p_run.add_argument("app")
+    p_run.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the happens-before conformance oracle (exit 1 on violations)",
+    )
     _add_comm_options(p_run)
     _add_fault_options(p_run)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="run the conformance oracle on an app or replay a violation artifact",
+    )
+    p_verify.add_argument("app", nargs="?", default=None)
+    p_verify.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay a results/violations/ artifact instead of a named app",
+    )
+    _add_comm_options(p_verify)
+    _add_fault_options(p_verify)
 
     p_prof = sub.add_parser(
         "profile",
@@ -602,6 +678,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "verify": cmd_verify,
         "profile": cmd_profile,
         "sweep": cmd_sweep,
         "experiment": cmd_experiment,

@@ -158,12 +158,20 @@ class Cluster:
         config: ClusterConfig,
         sim: Optional[Simulator] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        verify_log: Optional[object] = None,
     ) -> None:
         self.config = config
         #: metrics registry shared by every instrumented component, or
         #: ``None`` (the default) for a zero-observability-cost run
         self.metrics = metrics if metrics is not None and metrics.enabled else None
         metrics = self.metrics
+        if verify_log is None and config.verify:
+            from repro.verify import VerifyLog  # local import avoids cycle
+
+            verify_log = VerifyLog()
+        #: conformance-oracle event log, or ``None`` (the default) for a
+        #: zero-verification-cost run (see repro.verify)
+        self.verify_log = verify_log
         #: shared wire-fault source (None when config.faults is all-off)
         self.fault_injector: Optional[FaultInjector] = (
             FaultInjector(config.faults) if config.faults.enabled else None
@@ -218,6 +226,7 @@ class Cluster:
             procs=self.procs,
             free_page_fetches=config.free_page_fetches,
             metrics=metrics,
+            verify=verify_log,
         )
         self.protocol = PROTOCOLS[config.protocol](self.ctx)
 

@@ -37,6 +37,10 @@ class ClusterConfig:
     #: wire-level fault injection + recovery knobs (all off by default;
     #: see repro.net.faults)
     faults: FaultParams = field(default_factory=FaultParams)
+    #: run the happens-before conformance oracle on this run (see
+    #: repro.verify and docs/verification.md); passive — simulated time
+    #: is bit-identical with the oracle on or off
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in ("hlrc", "aurc"):
@@ -63,6 +67,8 @@ class ClusterConfig:
             raise ValueError(f"seed must be >= 0, got {self.seed}")
         if not isinstance(self.faults, FaultParams):
             raise ValueError(f"faults must be a FaultParams, got {self.faults!r}")
+        if not isinstance(self.verify, bool):
+            raise ValueError(f"verify must be a bool, got {self.verify!r}")
 
     @property
     def n_nodes(self) -> int:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from repro.arch.processor import TIME_CATEGORIES, ProcessorStats
 
@@ -61,6 +61,9 @@ class RunResult:
     metrics_cycles: Dict[str, int] = field(default_factory=dict)
     #: queue-depth summaries: name -> {mean, max, samples}
     queue_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: happens-before oracle findings (repro.verify.ConsistencyViolation);
+    #: empty unless the run had verification enabled and an invariant broke
+    violations: List[Any] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # speedups

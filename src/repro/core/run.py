@@ -8,6 +8,8 @@ This is the main user-facing entry point::
 
 from __future__ import annotations
 
+import os
+import sys
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.apps.base import (
@@ -77,11 +79,22 @@ def _harvest_resource_busy(cluster: Cluster) -> dict:
     return busy
 
 
+def _env_verify() -> bool:
+    """True when REPRO_VERIFY asks for the oracle on every run."""
+    return os.environ.get("REPRO_VERIFY", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
 def run_simulation(
     app: AppTrace,
     config: Optional[ClusterConfig] = None,
     max_events: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
+    verify_log: Optional[object] = None,
 ) -> RunResult:
     """Simulate ``app`` on a cluster built from ``config``.
 
@@ -101,6 +114,16 @@ def run_simulation(
         result.  Collection is passive, so profiling never changes the
         simulated outcome.  Callers that cache results should leave this
         ``None`` (the cache key does not cover profiling state).
+    verify_log:
+        Optional :class:`~repro.verify.VerifyLog` to collect protocol
+        conformance events into (tests pass one to inspect the stream).
+        When ``None``, a log is created automatically iff
+        ``config.verify`` is set or ``REPRO_VERIFY=1``.  Like profiling,
+        verification is passive: simulated time is bit-identical either
+        way.  After the run the happens-before oracle replays the log;
+        violations land on ``RunResult.violations`` and in
+        ``RunResult.meta`` and a replayable artifact is written under
+        ``results/violations/``.
     """
     if config is None:
         config = ClusterConfig()
@@ -109,7 +132,11 @@ def run_simulation(
             f"trace built for {app.n_procs} processors but config has "
             f"{config.total_procs}"
         )
-    cluster = Cluster(config, metrics=metrics)
+    if verify_log is None and (config.verify or _env_verify()):
+        from repro.verify import VerifyLog
+
+        verify_log = VerifyLog()
+    cluster = Cluster(config, metrics=metrics, verify_log=verify_log)
     for proc_id, events in enumerate(app.events):
         cluster.sim.spawn(
             _worker(cluster, cluster.procs[proc_id], events), name=f"app.p{proc_id}"
@@ -160,6 +187,29 @@ def run_simulation(
         for name, cycles in registry.busy_cycles().items():
             metrics_cycles.setdefault(f"busy.{name}", cycles)
         queue_stats = registry.queue_summary()
+    violations: List = []
+    if cluster.verify_log is not None:
+        from repro.verify import check_log
+        from repro.verify.artifacts import dump_violation_artifact, replay_command
+
+        violations = check_log(
+            cluster.verify_log.records,
+            n_procs=config.total_procs,
+            procs_per_node=config.comm.procs_per_node,
+            homes=cluster.directory.homes(),
+        )
+        meta["verify.events"] = float(len(cluster.verify_log.records))
+        meta["verify.violations"] = float(len(violations))
+        if violations:
+            path = dump_violation_artifact(
+                app, config, violations, cluster.verify_log
+            )
+            if path is not None:
+                print(
+                    f"repro.verify: {len(violations)} violation(s); "
+                    f"replay with: {replay_command(path)}",
+                    file=sys.stderr,
+                )
     return RunResult(
         app_name=app.name,
         problem=app.problem,
@@ -175,4 +225,5 @@ def run_simulation(
         metrics_counters=metrics_counters,
         metrics_cycles=metrics_cycles,
         queue_stats=queue_stats,
+        violations=violations,
     )

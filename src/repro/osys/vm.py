@@ -97,6 +97,10 @@ class PageDirectory:
         """Home node if assigned, else ``None`` (no assignment side effect)."""
         return self._homes.get(page)
 
+    def homes(self) -> Dict[int, int]:
+        """Copy of the full page -> home-node map (conformance oracle)."""
+        return dict(self._homes)
+
     def assign_home(self, page: int, node: int) -> None:
         """Explicit placement (used by traces that model careful layout)."""
         if not 0 <= node < self.n_nodes:

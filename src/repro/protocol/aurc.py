@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Dict, List
 from repro.protocol.diffs import page_words
 from repro.protocol.hlrc import HLRCProtocol
 from repro.sim.primitives import AllOf, Event
+from repro.verify.events import EV_INTERVAL, EV_WRITE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.processor import Processor
@@ -51,6 +52,10 @@ class AURCProtocol(HLRCProtocol):
         words = min(words, page_words(ctx.arch, ctx.comm.page_size))
         d = self.dirty[cpu.global_id]
         d[page] = min(page_words(ctx.arch, ctx.comm.page_size), d.get(page, 0) + words)
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now, EV_WRITE, (cpu.global_id, node_id, page, home, words)
+            )
         if home == node_id:
             return
         # hardware forwards the written words to the home as it happens
@@ -93,6 +98,12 @@ class AURCProtocol(HLRCProtocol):
         pages = tuple(d)
         self.vc[proc].increment(proc)
         self.log.append(proc, pages)
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now,
+                EV_INTERVAL,
+                (proc, self.vc[proc][proc], pages, self.vc[proc].snapshot()),
+            )
         self.counters.bump("write_notices", len(pages))
         mem = self.mem[ctx.node_id_of(proc)]
         for page in pages:

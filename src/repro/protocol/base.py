@@ -60,6 +60,9 @@ class ProtocolContext:
     #: optional metrics registry (profiling runs only; ``None`` keeps the
     #: protocol hot paths at a single attribute check)
     metrics: Optional[Any] = None
+    #: optional conformance-oracle event log (``repro.verify``; ``None``
+    #: keeps the protocol hot paths at a single attribute check)
+    verify: Optional[Any] = None
 
     @property
     def n_procs(self) -> int:

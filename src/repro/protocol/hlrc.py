@@ -54,6 +54,20 @@ from repro.protocol.diffs import (
 from repro.protocol.locks import LockManager
 from repro.protocol.timestamps import IntervalLog, VectorClock, notices_wire_bytes
 from repro.sim.primitives import Event
+from repro.verify.events import (
+    EV_ACQUIRE,
+    EV_APPLY,
+    EV_BARRIER,
+    EV_DIFF_APPLY,
+    EV_DIFF_SEND,
+    EV_FETCH,
+    EV_INTERVAL,
+    EV_READ,
+    EV_RELEASE,
+    EV_TWIN,
+    EV_TWIN_DROP,
+    EV_WRITE,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.processor import Processor
@@ -154,11 +168,17 @@ class HLRCProtocol:
         if home == node_id:
             return  # the home copy is always valid at the home
         mem = self.mem[node_id]
+        vlog = ctx.verify
         if page in mem.valid:
+            if vlog is not None:
+                vlog.record(ctx.sim.now, EV_READ, (cpu.global_id, node_id, page, home))
             return
         if ctx.free_page_fetches:
             # Section 7 attribution mode: faults appear local and free.
             mem.valid.add(page)
+            if vlog is not None:
+                vlog.record(ctx.sim.now, EV_FETCH, (cpu.global_id, node_id, page, home))
+                vlog.record(ctx.sim.now, EV_READ, (cpu.global_id, node_id, page, home))
             return
         # --- page fault ---
         self.counters.bump("page_faults")
@@ -170,6 +190,11 @@ class HLRCProtocol:
         if inflight is not None:
             # another processor of this node already fetches it
             yield from cpu.wait_for(inflight, "data_wait")
+            if vlog is not None:
+                # The waiter shares the fetched copy: record fetch+read so
+                # the oracle's copy tracking matches what it observed.
+                vlog.record(ctx.sim.now, EV_FETCH, (cpu.global_id, node_id, page, home))
+                vlog.record(ctx.sim.now, EV_READ, (cpu.global_id, node_id, page, home))
             return
         ev = Event(ctx.sim, name=f"fetch.p{page}")
         mem.fetches[page] = ev
@@ -186,6 +211,9 @@ class HLRCProtocol:
         )
         mem.valid.add(page)
         del mem.fetches[page]
+        if vlog is not None:
+            vlog.record(ctx.sim.now, EV_FETCH, (cpu.global_id, node_id, page, home))
+            vlog.record(ctx.sim.now, EV_READ, (cpu.global_id, node_id, page, home))
         ev.succeed()
 
     def write(self, cpu: "Processor", page: int, words: int = 1, runs: int = 1):
@@ -199,23 +227,57 @@ class HLRCProtocol:
             mem = self.mem[node_id]
             if page not in mem.twins:
                 mem.twins.add(page)
+                if ctx.verify is not None:
+                    ctx.verify.record(ctx.sim.now, EV_TWIN, (node_id, page))
                 yield from cpu.busy(twin_cost(ctx.arch, ctx.comm.page_size), "protocol")
         d = self.dirty[cpu.global_id]
         d[page] = min(
             page_words(ctx.arch, ctx.comm.page_size), d.get(page, 0) + words
         )
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now, EV_WRITE, (cpu.global_id, node_id, page, home, words)
+            )
 
     def acquire(self, cpu: "Processor", lock_id: int):
         snap = yield from self.locks.acquire(cpu, lock_id)
+        ctx = self.ctx
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now,
+                EV_ACQUIRE,
+                (
+                    cpu.global_id,
+                    ctx.node_id_of_cpu(cpu),
+                    lock_id,
+                    None if snap is None else tuple(snap),
+                ),
+            )
         yield from self._apply_incoming(cpu, snap)
 
     def release(self, cpu: "Processor", lock_id: int):
         yield from self.flush(cpu, category="lock_wait")
-        yield from self.locks.release(cpu, lock_id, self.vc[cpu.global_id].snapshot())
+        snap = self.vc[cpu.global_id].snapshot()
+        ctx = self.ctx
+        if ctx.verify is not None:
+            ctx.verify.record(ctx.sim.now, EV_RELEASE, (cpu.global_id, lock_id, snap))
+        yield from self.locks.release(cpu, lock_id, snap)
 
     def barrier(self, cpu: "Processor", barrier_id: int):
         yield from self.flush(cpu, category="barrier_wait")
         merged = yield from self.barriers.barrier(cpu, barrier_id)
+        ctx = self.ctx
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now,
+                EV_BARRIER,
+                (
+                    cpu.global_id,
+                    ctx.node_id_of_cpu(cpu),
+                    barrier_id,
+                    None if merged is None else tuple(merged),
+                ),
+            )
         yield from self._apply_incoming(cpu, merged)
 
     # ------------------------------------------------------------------ #
@@ -237,6 +299,7 @@ class HLRCProtocol:
             if home != node_id:
                 by_home.setdefault(home, []).append((page, words))
         metrics = ctx.metrics
+        vlog = ctx.verify
         for home, entries in sorted(by_home.items()):
             create = sum(
                 diff_create_cost(ctx.arch, ctx.comm.page_size, w) for _, w in entries
@@ -250,6 +313,12 @@ class HLRCProtocol:
             self.counters.bump("diff_words", total_words)
             cpu.stats.count("diffs_created", len(entries))
             size = sum(diff_wire_bytes(ctx.arch, w) for _, w in entries)
+            if vlog is not None:
+                vlog.record(
+                    ctx.sim.now,
+                    EV_DIFF_SEND,
+                    (proc, node_id, home, tuple((p, w) for p, w in entries)),
+                )
             yield from ctx.msg.rpc(
                 cpu,
                 node_id,
@@ -262,9 +331,17 @@ class HLRCProtocol:
         # open a new interval carrying this flush's write notices
         self.vc[proc].increment(proc)
         self.log.append(proc, pages)
+        if vlog is not None:
+            vlog.record(
+                ctx.sim.now,
+                EV_INTERVAL,
+                (proc, self.vc[proc][proc], pages, self.vc[proc].snapshot()),
+            )
         self.counters.bump("write_notices", len(pages))
         mem = self.mem[node_id]
         for page in pages:
+            if vlog is not None and page in mem.twins:
+                vlog.record(ctx.sim.now, EV_TWIN_DROP, (node_id, page))
             mem.twins.discard(page)
         d.clear()
 
@@ -280,14 +357,22 @@ class HLRCProtocol:
             return
         pages = self.log.notices_between(mine, incoming)
         mine.merge(incoming)
-        if not pages:
-            return
         node_id = ctx.node_id_of(proc)
         to_invalidate = [
             p for p in pages if ctx.directory.peek_home(p) != node_id
         ]
         if to_invalidate:
             self.mem[node_id].invalidate(to_invalidate)
+        # Record at the instant invalidations take effect (before the busy
+        # time is charged) so a node-mate's concurrent refetch cannot be
+        # reordered ahead of the invalidation in the verify stream.
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now,
+                EV_APPLY,
+                (proc, node_id, tuple(snapshot), mine.snapshot(), tuple(to_invalidate)),
+            )
+        if to_invalidate:
             yield from cpu.busy(
                 len(to_invalidate) * ctx.arch.page_invalidate_cycles, "protocol"
             )
@@ -307,7 +392,22 @@ class HLRCProtocol:
         entries = msg.payload
         apply_cost = sum(diff_apply_cost(ctx.arch, w) for _, w in entries)
         yield ctx.sim.timeout(ctx.arch.handler_base_cycles + apply_cost)
+        if ctx.verify is not None:
+            self._emit_diff_apply(cpu, msg)
         yield from ctx.msg.send_reply(cpu, msg, ACK_BYTES)
+
+    def _emit_diff_apply(self, cpu: "Processor", msg: "Message") -> None:
+        """Record a diff landing on the home copy (verify runs only)."""
+        ctx = self.ctx
+        ctx.verify.record(
+            ctx.sim.now,
+            EV_DIFF_APPLY,
+            (
+                ctx.node_id_of_cpu(cpu),
+                msg.src_node,
+                tuple((p, w) for p, w in msg.payload),
+            ),
+        )
 
     # ------------------------------------------------------------------ #
     # consistency-payload sizing helpers

@@ -66,6 +66,12 @@ class Tracer:
         """Human-readable rendering of the collected records."""
         return "\n".join(str(r) for r in self.records)
 
+    def tail(self, n: int) -> List[TraceRecord]:
+        """The most recent ``n`` records (context for failure artifacts)."""
+        if n <= 0:
+            return []
+        return self.records[-n:]
+
     def clear(self) -> None:
         self.records.clear()
         self.enabled = True

@@ -1,0 +1,25 @@
+"""Hypothesis profiles for the conformance-oracle suite.
+
+``HYPOTHESIS_PROFILE=ci`` (the verify-smoke CI job) pins derandomized
+example generation so CI failures reproduce locally; the default ``dev``
+profile keeps random exploration.  Both disable the deadline — a single
+example runs a full discrete-event simulation, whose wall-clock time
+says nothing about correctness.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,52 @@
+"""Differential tests: HLRC vs AURC vs the zero-cost ideal backend.
+
+The per-page version sets {(proc, interval)} are timing- and
+protocol-independent under LRC (each proc's flush structure is program
+order only), so all three backends must agree exactly — on synthetic
+traces and on the real trace generators.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.core import ClusterConfig
+from repro.verify.ideal import (
+    final_versions,
+    ideal_interval_sets,
+    interval_sets_from_log,
+)
+from tests.verify.workloads import (
+    assert_oracle_clean,
+    base_config,
+    run_verified,
+    trace_strategy,
+)
+
+
+@given(trace=trace_strategy(), ppn=st.sampled_from([1, 2]))
+@settings(max_examples=20)
+def test_protocols_and_ideal_agree_on_version_history(trace, ppn):
+    observed = {}
+    for protocol in ("hlrc", "aurc"):
+        result, vlog = run_verified(trace, base_config(protocol, ppn=ppn))
+        assert_oracle_clean(result, f"{trace.name}/{protocol}")
+        observed[protocol] = interval_sets_from_log(vlog.records)
+    ideal = ideal_interval_sets(trace)
+    assert observed["hlrc"] == ideal
+    assert observed["aurc"] == ideal
+    # equal interval sets => equal final memory contents
+    assert final_versions(observed["hlrc"]) == final_versions(ideal)
+
+
+def test_real_apps_match_ideal_versions():
+    for app_name in ("fft", "radix"):
+        cfg = ClusterConfig()
+        trace = get_app(
+            app_name, page_size=cfg.comm.page_size, scale=0.05, seed=cfg.seed
+        )
+        ideal = ideal_interval_sets(trace)
+        for protocol in ("hlrc", "aurc"):
+            result, vlog = run_verified(trace, cfg.replace(protocol=protocol))
+            assert_oracle_clean(result, f"{app_name}/{protocol}")
+            assert interval_sets_from_log(vlog.records) == ideal

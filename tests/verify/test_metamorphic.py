@@ -1,0 +1,111 @@
+"""Metamorphic properties from the paper's sensitivity sweeps.
+
+Restricted to barrier-only sharing patterns on one proc per node: without
+lock arbitration (whose grant *order* may legitimately change with
+timing) and without SMP fetch coalescing (whose fault accounting depends
+on arrival timing), the epoch structure is deterministic, so:
+
+* execution time is non-decreasing in host overhead and interrupt cost,
+* execution time is non-increasing in I/O-bus bandwidth,
+* page-fault and page-fetch counts are invariant under pure cost/latency
+  changes (overhead, interrupt cost, wire latency).
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.core import ClusterConfig, run_simulation
+from tests.verify.workloads import (
+    BARRIER_ONLY_PATTERNS,
+    assert_oracle_clean,
+    base_config,
+    run_verified,
+    trace_strategy,
+)
+
+_protocols = st.sampled_from(["hlrc", "aurc"])
+
+
+def _cycles(trace, protocol, **comm_kw) -> int:
+    result, _ = run_verified(trace, base_config(protocol, ppn=1, **comm_kw))
+    assert_oracle_clean(result, f"{trace.name}/{protocol}/{comm_kw}")
+    return result.total_cycles
+
+
+@given(trace=trace_strategy(patterns=BARRIER_ONLY_PATTERNS), protocol=_protocols)
+@settings(max_examples=8)
+def test_time_monotone_in_host_overhead(trace, protocol):
+    cycles = [
+        _cycles(trace, protocol, host_overhead=v) for v in (0, 500, 2500)
+    ]
+    assert cycles == sorted(cycles), f"host_overhead ladder not monotone: {cycles}"
+
+
+@given(trace=trace_strategy(patterns=BARRIER_ONLY_PATTERNS))
+@settings(max_examples=8)
+def test_time_monotone_in_interrupt_cost(trace):
+    # HLRC only: all of its communication is interrupt-driven RPC, so the
+    # ladder is strictly monotone.  AURC's asynchronous update traffic
+    # interacts with fetch-interrupt timing through bus contention, which
+    # can legitimately shift cycles a fraction of a percent either way.
+    cycles = [
+        _cycles(trace, "hlrc", interrupt_cost=v) for v in (100, 500, 2500)
+    ]
+    assert cycles == sorted(cycles), f"interrupt_cost ladder not monotone: {cycles}"
+
+
+@given(trace=trace_strategy(patterns=BARRIER_ONLY_PATTERNS), protocol=_protocols)
+@settings(max_examples=8)
+def test_time_antimonotone_in_io_bus_bandwidth(trace, protocol):
+    cycles = [
+        _cycles(trace, protocol, io_bus_mb_per_mhz=v) for v in (0.125, 0.5, 2.0)
+    ]
+    assert cycles == sorted(cycles, reverse=True), (
+        f"io-bus bandwidth ladder not anti-monotone: {cycles}"
+    )
+
+
+@given(trace=trace_strategy(patterns=BARRIER_ONLY_PATTERNS), protocol=_protocols)
+@settings(max_examples=8)
+def test_fault_counts_invariant_under_pure_cost_changes(trace, protocol):
+    counts = []
+    for overhead, intr in ((0, 100), (500, 500), (3000, 2500)):
+        result, _ = run_verified(
+            trace,
+            base_config(protocol, ppn=1, host_overhead=overhead, interrupt_cost=intr),
+        )
+        assert_oracle_clean(result)
+        counts.append((result.counters.page_faults, result.counters.page_fetches))
+    assert len(set(counts)) == 1, f"fault counts changed with pure costs: {counts}"
+
+
+@given(trace=trace_strategy(patterns=BARRIER_ONLY_PATTERNS), protocol=_protocols)
+@settings(max_examples=6)
+def test_fault_counts_invariant_under_wire_latency(trace, protocol):
+    counts = []
+    for latency in (50, 200, 2000):
+        config = base_config(protocol, ppn=1)
+        config = config.replace(
+            arch=dataclasses.replace(config.arch, link_latency_cycles=latency)
+        )
+        result, _ = run_verified(trace, config)
+        assert_oracle_clean(result)
+        counts.append((result.counters.page_faults, result.counters.page_fetches))
+    assert len(set(counts)) == 1, f"fault counts changed with latency: {counts}"
+
+
+def test_fft_time_monotone_in_host_overhead():
+    """Fixed real-app spot check of the paper's central sensitivity axis."""
+    cfg = ClusterConfig()
+    trace = get_app("fft", page_size=cfg.comm.page_size, scale=0.05, seed=cfg.seed)
+    cycles = []
+    for overhead in (0, 500, 3000):
+        result = run_simulation(
+            trace, cfg.with_comm(host_overhead=overhead).replace(verify=True)
+        )
+        assert_oracle_clean(result, f"fft/o={overhead}")
+        cycles.append(result.total_cycles)
+    assert cycles == sorted(cycles), cycles

@@ -1,0 +1,69 @@
+"""In-suite slice of the golden-grid conformance gate.
+
+The fft points of the pinned golden grid are re-run with the oracle
+enabled: zero violations, and total cycles must equal the committed
+snapshot exactly (verification is passive).  CI's verify-smoke job runs
+the full grid via ``scripts/golden_regression.py --check --verify``;
+this keeps a fast slice of the same guarantee inside ``pytest``.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.apps import get_app
+from repro.core import run_simulation
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "golden_regression.py"
+SNAPSHOT = REPO_ROOT / "scripts" / "golden_snapshot.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    spec = importlib.util.spec_from_file_location("golden_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("golden_regression", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def snapshot_points():
+    return json.loads(SNAPSHOT.read_text(encoding="utf-8"))["points"]
+
+
+def _fft_tags(golden):
+    return [(tag, app, cfg) for tag, app, cfg in golden.grid_points() if app == "fft"]
+
+
+def test_oracle_clean_and_passive_on_golden_fft_points(golden, snapshot_points):
+    ran = 0
+    for tag, app, cfg in _fft_tags(golden):
+        cfg = cfg.replace(verify=True)
+        trace = get_app(
+            app, page_size=cfg.comm.page_size, scale=golden.SCALE, seed=cfg.seed
+        )
+        result = run_simulation(trace, cfg)
+        assert result.violations == [], (tag, [str(v) for v in result.violations])
+        assert result.meta["verify.events"] > 0, tag
+        obs = golden.observe(result)
+        expected = snapshot_points[tag]
+        assert obs["total_cycles"] == expected["total_cycles"], tag
+        assert golden.digest(obs) == expected["digest"], tag
+        ran += 1
+    assert ran == 4  # fft x {hlrc, aurc} x {clean, faulty}
+
+
+def test_run_grid_verify_reports_no_failures_on_fft(golden, monkeypatch):
+    # restrict the script's own entry point to the fft rows and make sure
+    # its oracle plumbing agrees: no failures, snapshot digests intact
+    monkeypatch.setattr(golden, "APPS", ("fft",))
+    points, failures = golden.run_grid(verify=True)
+    assert failures == []
+    blessed = json.loads(SNAPSHOT.read_text(encoding="utf-8"))["points"]
+    for tag, point in points.items():
+        assert point == blessed[tag], tag

@@ -1,0 +1,71 @@
+"""Verification must be passive: a verified run is bit-identical in
+simulated time, breakdowns and protocol counters to an unverified run
+(same pattern as the observability passivity test)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.core import ClusterConfig, run_simulation
+from tests.verify.workloads import base_config, lock_mix, migratory
+
+SCALE = 0.05
+
+
+def _assert_identical(plain, checked):
+    assert checked.total_cycles == plain.total_cycles
+    assert checked.time_breakdown() == plain.time_breakdown()
+    assert checked.counters == plain.counters
+    for key, value in plain.meta.items():
+        assert checked.meta[key] == value
+    assert checked.resource_busy == plain.resource_busy
+
+
+@pytest.mark.parametrize(
+    "app_name,protocol",
+    [("fft", "hlrc"), ("fft", "aurc"), ("radix", "hlrc"), ("radix", "aurc")],
+)
+def test_verify_does_not_perturb_real_apps(app_name, protocol):
+    cfg = ClusterConfig(protocol=protocol)
+    trace = get_app(app_name, page_size=cfg.comm.page_size, scale=SCALE, seed=cfg.seed)
+    plain = run_simulation(trace, cfg)
+    checked = run_simulation(trace, cfg.replace(verify=True))
+    _assert_identical(plain, checked)
+    assert "verify.events" not in plain.meta
+    assert checked.meta["verify.events"] > 0
+    assert checked.meta["verify.violations"] == 0
+
+
+@pytest.mark.parametrize("protocol", ["hlrc", "aurc"])
+def test_verify_does_not_perturb_synthetic_lock_workloads(protocol):
+    trace = lock_mix(4, 4, 8, 500)
+    cfg = base_config(protocol, ppn=2)
+    plain = run_simulation(trace, cfg)
+    checked = run_simulation(trace, cfg.replace(verify=True))
+    _assert_identical(plain, checked)
+
+
+@pytest.mark.parametrize("protocol", ["hlrc", "aurc"])
+def test_verify_does_not_perturb_faulty_runs(protocol):
+    from repro.net.faults import FaultParams
+
+    trace = migratory(2, 3, 16, 500)
+    cfg = base_config(
+        protocol, ppn=2, faults=FaultParams(drop_prob=0.05, retry_timeout=20_000)
+    )
+    plain = run_simulation(trace, cfg)
+    checked = run_simulation(trace, cfg.replace(verify=True))
+    _assert_identical(plain, checked)
+
+
+def test_env_var_enables_verification(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    trace = migratory(1, 2, 8, 500)
+    cfg = base_config("hlrc", ppn=2)
+    assert cfg.verify is False
+    result = run_simulation(trace, cfg)
+    assert result.meta["verify.events"] > 0
+    assert result.violations == []
+    monkeypatch.setenv("REPRO_VERIFY", "0")
+    result2 = run_simulation(trace, cfg)
+    assert "verify.events" not in result2.meta
+    assert result2.total_cycles == result.total_cycles
