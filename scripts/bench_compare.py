@@ -1,17 +1,26 @@
 #!/usr/bin/env python
 """Compare a fresh benchmark run against the committed baseline.
 
-``scripts/bench_sweep.py`` writes wall-clock timings to a JSON file; the
-repo commits one such file (``BENCH_sweep.json``) as the performance
-baseline.  This script diffs a fresh run against it and gates CI:
+Two benchmark schemas are understood (auto-detected from the keys in the
+fresh file, or forced with ``--kind``):
 
-* **cold-path** timings (``serial_cold_s``, ``parallel_cold_s``) more
-  than ``--threshold`` slower than baseline **fail** — a cold run is
+* **sweep** (``scripts/bench_sweep.py`` → ``BENCH_sweep.json``):
+  cold-path timings (``serial_cold_s``, ``parallel_cold_s``) more than
+  ``--threshold`` slower than baseline **fail** — a cold run is
   dominated by the simulator hot loop, so a big regression there means
-  model code got slower;
-* **warm-path** timing (``parallel_warm_s``) only **warns** — warm runs
-  are disk-cache hits measured in fractions of a second, far too noisy
-  on shared CI runners to gate on.
+  model code got slower.  The warm-path timing (``parallel_warm_s``)
+  only **warns** — warm runs are disk-cache hits measured in fractions
+  of a second, far too noisy on shared CI runners to gate on.
+* **engine** (``scripts/bench_engine.py`` → ``BENCH_engine.json``):
+  ``optimized_ns_per_event`` more than ``--threshold`` above baseline
+  **fails**; the reference-loop timing and the heap-vs-calendar
+  breakdown only warn.
+
+The schema read is forward-compatible: keys the comparator does not know
+are ignored, non-numeric values (nested breakdown dicts) are skipped,
+and a gated key missing from either file degrades to a warning rather
+than a ``KeyError`` — so a BENCH file may gain, rename, or nest fields
+without breaking older checkouts' CI.
 
 The full comparison is written to ``--out`` (JSON) so CI can upload it
 as an artifact regardless of outcome.
@@ -19,8 +28,8 @@ as an artifact regardless of outcome.
 Usage::
 
     python scripts/bench_compare.py --fresh BENCH_fresh.json \
-        [--baseline BENCH_sweep.json] [--threshold 0.30] \
-        [--out bench_diff.json]
+        [--baseline BENCH_sweep.json] [--kind sweep|engine] \
+        [--threshold 0.30] [--out bench_diff.json]
 """
 
 from __future__ import annotations
@@ -32,23 +41,59 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-#: keys gated hard vs. warn-only (values are human labels)
-COLD_KEYS = {"serial_cold_s": "serial cold", "parallel_cold_s": "parallel cold"}
-WARM_KEYS = {"parallel_warm_s": "parallel warm"}
+#: per-schema comparison spec: keys gated hard vs. warn-only (values are
+#: human labels), a detection key, and the default baseline path.
+SCHEMAS = {
+    "sweep": {
+        "detect": ("serial_cold_s", "parallel_cold_s"),
+        "gate": {"serial_cold_s": "serial cold", "parallel_cold_s": "parallel cold"},
+        "warn": {"parallel_warm_s": "parallel warm"},
+        "baseline": REPO_ROOT / "BENCH_sweep.json",
+    },
+    "engine": {
+        "detect": ("optimized_ns_per_event",),
+        "gate": {"optimized_ns_per_event": "optimized dispatch"},
+        "warn": {"reference_ns_per_event": "reference dispatch"},
+        "baseline": REPO_ROOT / "benchmarks" / "output" / "BENCH_engine.json",
+    },
+}
 
 
-def compare(baseline: dict, fresh: dict, threshold: float) -> dict:
+def detect_kind(fresh: dict) -> str:
+    """Pick the schema whose detection keys appear in the fresh record."""
+    for kind, spec in SCHEMAS.items():
+        if any(k in fresh for k in spec["detect"]):
+            return kind
+    return "sweep"
+
+
+def _numeric(record: dict, key: str):
+    """The value at ``key`` if it is a plain number, else ``None``.
+
+    Treats a renamed/missing key and a key that became a nested dict the
+    same way — "not comparable here" — which is what keeps old checkouts
+    working when a BENCH schema grows."""
+    value = record.get(key)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    return None
+
+
+def compare(baseline: dict, fresh: dict, threshold: float, kind: str) -> dict:
     """Build the comparison record; ``failures`` is empty when the gate passes."""
+    spec = SCHEMAS[kind]
     rows = []
     failures = []
     warnings = []
-    for keys, gated in ((COLD_KEYS, True), (WARM_KEYS, False)):
+    for keys, gated in ((spec["gate"], True), (spec["warn"], False)):
         for key, label in keys.items():
-            base = baseline.get(key)
-            new = fresh.get(key)
+            base = _numeric(baseline, key)
+            new = _numeric(fresh, key)
             if base is None or new is None:
-                warnings.append(f"{label}: key {key!r} missing from "
-                                f"{'baseline' if base is None else 'fresh'} file")
+                which = "baseline" if base is None else "fresh"
+                warnings.append(
+                    f"{label}: key {key!r} missing or non-numeric in {which} file"
+                )
                 continue
             ratio = (new - base) / base if base > 0 else 0.0
             row = {
@@ -61,10 +106,11 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> dict:
             }
             rows.append(row)
             if ratio > threshold:
-                msg = (f"{label}: {new:.2f}s vs baseline {base:.2f}s "
+                msg = (f"{label}: {new:.2f} vs baseline {base:.2f} "
                        f"({ratio * 100:+.1f}%, threshold +{threshold * 100:.0f}%)")
                 (failures if gated else warnings).append(msg)
     return {
+        "kind": kind,
         "threshold": threshold,
         "rows": rows,
         "failures": failures,
@@ -74,24 +120,34 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--fresh", required=True, help="fresh bench_sweep.py output")
+    parser.add_argument("--fresh", required=True, help="fresh benchmark output")
     parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_sweep.json"),
-        help="committed baseline (default: BENCH_sweep.json)",
+        default=None,
+        help="committed baseline (default: the schema's committed BENCH file)",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=sorted(SCHEMAS),
+        default=None,
+        help="benchmark schema (default: auto-detect from the fresh file)",
     )
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.30,
-        help="cold-path slowdown fraction that fails the gate (default 0.30)",
+        help="gated-key slowdown fraction that fails the gate (default 0.30)",
     )
     parser.add_argument("--out", default="bench_diff.json", help="comparison artifact")
     args = parser.parse_args(argv)
 
-    baseline = json.loads(pathlib.Path(args.baseline).read_text(encoding="utf-8"))
     fresh = json.loads(pathlib.Path(args.fresh).read_text(encoding="utf-8"))
-    report = compare(baseline, fresh, args.threshold)
+    kind = args.kind or detect_kind(fresh)
+    baseline_path = pathlib.Path(
+        args.baseline if args.baseline is not None else SCHEMAS[kind]["baseline"]
+    )
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    report = compare(baseline, fresh, args.threshold, kind)
 
     pathlib.Path(args.out).write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -100,17 +156,17 @@ def main(argv=None) -> int:
     for row in report["rows"]:
         gate = "gate" if row["gated"] else "warn"
         print(
-            f"  {row['label']:<14} [{gate}] baseline={row['baseline_s']:7.2f}s "
-            f"fresh={row['fresh_s']:7.2f}s  {row['slowdown'] * 100:+6.1f}%"
+            f"  {row['label']:<18} [{gate}] baseline={row['baseline_s']:9.2f} "
+            f"fresh={row['fresh_s']:9.2f}  {row['slowdown'] * 100:+6.1f}%"
         )
     for msg in report["warnings"]:
         print(f"WARNING: {msg}")
     if report["failures"]:
-        print("bench compare FAILED:")
+        print(f"bench compare ({kind}) FAILED:")
         for msg in report["failures"]:
             print(f"  - {msg}")
         return 1
-    print(f"bench compare OK (diff written to {args.out})")
+    print(f"bench compare ({kind}) OK (diff written to {args.out})")
     return 0
 
 

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.apps.base import (
     ACQUIRE,
     BARRIER,
@@ -68,7 +70,8 @@ class _BarnesBase(AppGenerator):
         bodies = space.alloc(n * BODY_BYTES, "bodies")
         n_cells = max(P, n // 4)
         tree = space.alloc(n_cells * CELL_BYTES, "tree")
-        tree_pages = list(space.pages_of(tree, n_cells * CELL_BYTES))
+        tree_range = space.pages_of(tree, n_cells * CELL_BYTES)
+        tree_pages = np.arange(tree_range.start, tree_range.stop)
         part_bytes = per_proc * BODY_BYTES
         l1_mr, l2_mr = cache.miss_rates_for_working_set(
             part_bytes + len(tree_pages) * params.page_size // 2
@@ -90,8 +93,9 @@ class _BarnesBase(AppGenerator):
             evs.extend(self.touch_events(space, bodies + p * part_bytes, part_bytes))
             # tree cells are spread over processors (subspace ownership)
             share = len(tree_pages) // P
-            for page in tree_pages[p * share : (p + 1) * share]:
-                evs.append(("t", int(page)))
+            evs.extend(
+                [("t", page) for page in tree_pages[p * share : (p + 1) * share].tolist()]
+            )
             evs.append((BARRIER, 0))
 
         bar = 1
@@ -109,8 +113,7 @@ class _BarnesBase(AppGenerator):
                 touched = rng.choice(
                     tree_pages, size=max(1, int(len(tree_pages) * 0.35)), replace=False
                 )
-                for page in sorted(int(x) for x in touched):
-                    evs.append((READ, page))
+                evs.extend([(READ, page) for page in np.sort(touched).tolist()])
                 evs.append(
                     self.compute_block(
                         cache,
@@ -127,8 +130,11 @@ class _BarnesBase(AppGenerator):
             words_per_page = params.page_size // params.arch.word_bytes
             for p in range(P):
                 evs = events[p]
-                for page in space.pages_of(bodies + p * part_bytes, part_bytes):
-                    evs.append((WRITE, int(page), words_per_page // 2, 4))
+                evs.extend(
+                    self.write_region(
+                        space, bodies + p * part_bytes, part_bytes, words_per_page // 2, 4
+                    )
+                )
                 evs.append(
                     self.compute_block(
                         cache,
@@ -164,11 +170,9 @@ class BarnesRebuildGenerator(_BarnesBase):
         # every ~4th body insertion descends into a contended region:
         # lock the cell, read+write its page inside the critical section
         insertions = max(1, per_proc // 4)
-        pages = rng.choice(tree_pages, size=insertions, replace=True)
-        locks = rng.integers(0, CELL_LOCKS, size=insertions)
-        for i in range(insertions):
-            page = int(pages[i])
-            lock_id = CELL_LOCK_BASE + int(locks[i])
+        pages = rng.choice(tree_pages, size=insertions, replace=True).tolist()
+        locks = (CELL_LOCK_BASE + rng.integers(0, CELL_LOCKS, size=insertions)).tolist()
+        for page, lock_id in zip(pages, locks):
             evs.append((ACQUIRE, lock_id))
             evs.append((READ, page))
             evs.append((WRITE, page, 8, 2))
@@ -209,5 +213,7 @@ class BarnesSpaceGenerator(_BarnesBase):
         P = params.n_procs
         share = len(tree_pages) // P
         words_per_page = params.page_size // params.arch.word_bytes
-        for page in tree_pages[p * share : (p + 1) * share]:
-            evs.append((WRITE, int(page), words_per_page // 2, 2))
+        w = words_per_page // 2
+        evs.extend(
+            [(WRITE, page, w, 2) for page in tree_pages[p * share : (p + 1) * share].tolist()]
+        )

@@ -185,21 +185,42 @@ class AppGenerator(abc.ABC):
     @staticmethod
     def touch_events(space: AddressSpace, base: int, nbytes: int) -> List[Event]:
         """First-touch events for a region (placement initialization)."""
-        return [(TOUCH, page) for page in space.pages_of(base, nbytes)]
+        r = space.pages_of(base, nbytes)
+        return [(TOUCH, p) for p in np.arange(r.start, r.stop).tolist()]
 
     @staticmethod
     def read_pages(pages: Sequence[int]) -> List[Event]:
-        return [(READ, int(p)) for p in pages]
+        return [(READ, p) for p in np.asarray(pages, dtype=np.int64).tolist()]
+
+    @staticmethod
+    def read_region(space: AddressSpace, addr: int, nbytes: int) -> List[Event]:
+        """READ events for every page of a byte region, batched."""
+        r = space.pages_of(addr, nbytes)
+        return [(READ, p) for p in np.arange(r.start, r.stop).tolist()]
+
+    @staticmethod
+    def write_region(
+        space: AddressSpace, addr: int, nbytes: int, words: int, runs: int = 1
+    ) -> List[Event]:
+        """WRITE events (same words/runs) for every page of a region."""
+        r = space.pages_of(addr, nbytes)
+        return [(WRITE, p, words, runs) for p in np.arange(r.start, r.stop).tolist()]
 
     @staticmethod
     def serial_from_blocks(events: List[List[Event]], serial_stall_factor: float = 1.0) -> int:
         """Uniprocessor time as the sum of all compute blocks, with the
         stall component scaled by ``serial_stall_factor`` (serial runs see
         worse cache behaviour when the full working set exceeds the cache
-        — the paper's Ocean caveat)."""
-        total = 0
-        for evs in events:
-            for ev in evs:
-                if ev[0] == COMPUTE:
-                    total += ev[1] + int(ev[2] * serial_stall_factor)
-        return total
+        — the paper's Ocean caveat).
+
+        The per-block arithmetic is batched through numpy; truncation of
+        the scaled stall matches ``int(stall * factor)`` exactly because
+        both truncate the same float64 product toward zero.
+        """
+        blocks = [ev for evs in events for ev in evs if ev[0] == COMPUTE]
+        if not blocks:
+            return 0
+        work = np.fromiter((ev[1] for ev in blocks), dtype=np.int64, count=len(blocks))
+        stall = np.fromiter((ev[2] for ev in blocks), dtype=np.int64, count=len(blocks))
+        scaled = (stall * serial_stall_factor).astype(np.int64)
+        return int(work.sum() + scaled.sum())

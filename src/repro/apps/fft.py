@@ -92,13 +92,15 @@ class FFTGenerator(AppGenerator):
                 for step in range(1, P):
                     q = (p + step) % P
                     off = read_base + q * part_bytes + p * chunk_bytes
-                    for page in space.pages_of(off, chunk_bytes):
-                        evs.append(("r", int(page)))
+                    evs.extend(self.read_region(space, off, chunk_bytes))
                     evs.append(copy_chunk)
                 # write own partition of the destination (local pages)
                 words_per_page = params.page_size // params.arch.word_bytes
-                for page in space.pages_of(write_base + p * part_bytes, part_bytes):
-                    evs.append((WRITE, int(page), words_per_page, 1))
+                evs.extend(
+                    self.write_region(
+                        space, write_base + p * part_bytes, part_bytes, words_per_page
+                    )
+                )
                 evs.append((BARRIER, bar_id))
 
         def fft_phase(bar_id: int) -> None:

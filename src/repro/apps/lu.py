@@ -85,13 +85,11 @@ class LUGenerator(AppGenerator):
             if owner(bi, bj) == p:
                 return
             addr = block_addr[(bi, bj)]
-            for page in space.pages_of(addr, block_bytes):
-                events[p].append(("r", int(page)))
+            events[p].extend(self.read_region(space, addr, block_bytes))
 
         def write_block(p: int, bi: int, bj: int, words: int) -> None:
             addr = block_addr[(bi, bj)]
-            for page in space.pages_of(addr, block_bytes):
-                events[p].append((WRITE, int(page), words, 1))
+            events[p].extend(self.write_region(space, addr, block_bytes, words))
 
         bar = 1
         for k in range(nb):

@@ -82,13 +82,13 @@ class OceanGenerator(AppGenerator):
                 )
             events[p].append((BARRIER, 0))
 
-        def boundary_pages(grid_base: int, p: int, side: int):
-            """Pages of the neighbour row adjacent to partition ``p``."""
+        def boundary_reads(grid_base: int, p: int, side: int):
+            """READ events for the neighbour row adjacent to partition ``p``."""
             if side < 0:  # last row of the previous partition
                 addr = grid_base + p * part_bytes - row_bytes
             else:  # first row of the next partition
                 addr = grid_base + (p + 1) * part_bytes
-            return space.pages_of(addr, row_bytes)
+            return self.read_region(space, addr, row_bytes)
 
         bar = 1
         for _it in range(ITERATIONS):
@@ -98,11 +98,9 @@ class OceanGenerator(AppGenerator):
                 for p in range(P):
                     evs = events[p]
                     if p > 0:
-                        for page in boundary_pages(g_read, p, -1):
-                            evs.append(("r", int(page)))
+                        evs.extend(boundary_reads(g_read, p, -1))
                     if p < P - 1:
-                        for page in boundary_pages(g_read, p, +1):
-                            evs.append(("r", int(page)))
+                        evs.extend(boundary_reads(g_read, p, +1))
                     evs.append(
                         self.compute_block(
                             cache,
@@ -116,11 +114,11 @@ class OceanGenerator(AppGenerator):
                     # only boundary rows are consumed remotely: emit writes
                     # for the first and last row's pages of the written grid
                     own = g_write + p * part_bytes
-                    for page in space.pages_of(own, row_bytes):
-                        evs.append((WRITE, int(page), words_per_page, 1))
+                    evs.extend(self.write_region(space, own, row_bytes, words_per_page))
                     last_row = own + part_bytes - row_bytes
-                    for page in space.pages_of(last_row, row_bytes):
-                        evs.append((WRITE, int(page), words_per_page, 1))
+                    evs.extend(
+                        self.write_region(space, last_row, row_bytes, words_per_page)
+                    )
                     evs.append((BARRIER, bar))
                 bar += 1
 

@@ -17,6 +17,8 @@ proportionally fewer faults/fetches for the same number of bytes moved.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.apps.base import (
     ACQUIRE,
     BARRIER,
@@ -67,6 +69,19 @@ class RadixGenerator(AppGenerator):
             events[p].append((BARRIER, 0))
 
         bar = 1
+        # destination-partition page numbers, materialized once per array
+        # (numpy int64 matches what rng.choice builds from a list of ints,
+        # so the sampled pages — and the rng stream — are unchanged)
+        part_pages = {
+            base: {
+                q: np.arange(
+                    (base + q * part_bytes) // params.page_size,
+                    (base + (q + 1) * part_bytes - 1) // params.page_size + 1,
+                )
+                for q in range(P)
+            }
+            for base in (src, dst)
+        }
         for pass_idx in range(PASSES):
             a, b = (src, dst) if pass_idx % 2 == 0 else (dst, src)
             for p in range(P):
@@ -97,27 +112,18 @@ class RadixGenerator(AppGenerator):
                 # size, which is why larger pages amortize the per-fault
                 # fixed costs over the same byte volume (Figure 12).
                 keys_per_dst = per_proc // P
+                m = pages_per_part
+                expected = m * (1.0 - (1.0 - 1.0 / m) ** keys_per_dst)
+                touched = max(1, min(m, round(expected)))
+                words_each = max(1, keys_per_dst // touched)
+                w = min(words_per_page, words_each)
+                r = max(1, min(32, words_each // 2))
                 for step in range(P):
                     q = (p + 1 + step) % P
-                    dst_base = b + q * part_bytes
-                    m = pages_per_part
-                    expected = m * (1.0 - (1.0 - 1.0 / m) ** keys_per_dst)
-                    touched = max(1, min(m, round(expected)))
-                    pages = rng.choice(
-                        list(space.pages_of(dst_base, part_bytes)),
-                        size=touched,
-                        replace=False,
+                    pages = rng.choice(part_pages[b][q], size=touched, replace=False)
+                    evs.extend(
+                        [(WRITE, page, w, r) for page in np.sort(pages).tolist()]
                     )
-                    words_each = max(1, keys_per_dst // touched)
-                    for page in sorted(int(x) for x in pages):
-                        evs.append(
-                            (
-                                WRITE,
-                                page,
-                                min(words_per_page, words_each),
-                                max(1, min(32, words_each // 2)),
-                            )
-                        )
                 evs.append(
                     self.compute_block(
                         cache,

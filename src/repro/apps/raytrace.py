@@ -21,6 +21,8 @@ group, not the bandwidth-bound one.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.apps.base import (
     ACQUIRE,
     BARRIER,
@@ -60,7 +62,8 @@ class RaytraceGenerator(AppGenerator):
         rng = params.rng(salt=2)
 
         scene = space.alloc(SCENE_BYTES, "scene")
-        scene_pages = list(space.pages_of(scene, SCENE_BYTES))
+        scene_range = space.pages_of(scene, SCENE_BYTES)
+        scene_pages = np.arange(scene_range.start, scene_range.stop)
 
         def region_pages(p: int):
             """Scene pages processor ``p``'s rays actually traverse: its
@@ -72,7 +75,7 @@ class RaytraceGenerator(AppGenerator):
             lo = p * slab
             local = scene_pages[lo : lo + 2 * slab]
             shared_top = scene_pages[: max(1, n_pages // 10)]
-            return local + shared_top
+            return np.concatenate([local, shared_top])
         queues = space.alloc(P * params.page_size, "queues")
         frame = space.alloc(P * params.page_size * 4, "framebuffer")
         l1_mr, l2_mr = cache.miss_rates_for_working_set(SCENE_BYTES // 4)
@@ -104,8 +107,7 @@ class RaytraceGenerator(AppGenerator):
             # the rest faults in on demand during tracing
             my_region = region_pages(p)
             warm = rng.choice(my_region, size=max(1, len(my_region) // 16), replace=False)
-            for page in sorted(int(x) for x in warm):
-                evs.append((READ, page))
+            evs.extend([(READ, page) for page in np.sort(warm).tolist()])
 
             n_steals = int(tasks * STEAL_FRACTION)
             n_own = tasks - n_steals
@@ -129,8 +131,12 @@ class RaytraceGenerator(AppGenerator):
                     evs.append((RELEASE, own_lock))
                 # trace the rays: reads a couple of pages of this
                 # processor's scene region (cached after first fault)
-                for page in rng.choice(my_region, size=2, replace=False):
-                    evs.append((READ, int(page)))
+                evs.extend(
+                    [
+                        (READ, page)
+                        for page in rng.choice(my_region, size=2, replace=False).tolist()
+                    ]
+                )
                 evs.append(
                     self.compute_block(
                         cache,

@@ -18,6 +18,8 @@ section (paper Section 7).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.apps.base import (
     ACQUIRE,
     BARRIER,
@@ -53,7 +55,8 @@ class VolrendGenerator(AppGenerator):
         rng = params.rng(salt=3)
 
         volume = space.alloc(VOLUME_BYTES, "volume")
-        volume_pages = list(space.pages_of(volume, VOLUME_BYTES))
+        volume_range = space.pages_of(volume, VOLUME_BYTES)
+        volume_pages = np.arange(volume_range.start, volume_range.stop)
 
         def region_pages(p: int):
             """Volume pages processor ``p``'s rays traverse: its image
@@ -63,7 +66,7 @@ class VolrendGenerator(AppGenerator):
             lo = p * slab
             local = volume_pages[lo : lo + 2 * slab]
             shared_top = volume_pages[: max(1, n_pages // 12)]
-            return local + shared_top
+            return np.concatenate([local, shared_top])
         queues = space.alloc(P * params.page_size, "queues")
         image = space.alloc(P * params.page_size * 2, "image")
         l1_mr, l2_mr = cache.miss_rates_for_working_set(VOLUME_BYTES // 8)
@@ -90,8 +93,7 @@ class VolrendGenerator(AppGenerator):
             own_image_page = space.page_of(image + p * params.page_size * 2)
             my_region = region_pages(p)
             warm = rng.choice(my_region, size=max(1, len(my_region) // 16), replace=False)
-            for page in sorted(int(x) for x in warm):
-                evs.append((READ, page))
+            evs.extend([(READ, page) for page in np.sort(warm).tolist()])
 
             n_steals = int(tasks * STEAL_FRACTION)
             n_own = tasks - n_steals
@@ -111,8 +113,12 @@ class VolrendGenerator(AppGenerator):
                     evs.append((ACQUIRE, own_lock))
                     evs.append((WRITE, own_queue_page, 4, 1))
                     evs.append((RELEASE, own_lock))
-                for page in rng.choice(my_region, size=3, replace=False):
-                    evs.append((READ, int(page)))
+                evs.extend(
+                    [
+                        (READ, page)
+                        for page in rng.choice(my_region, size=3, replace=False).tolist()
+                    ]
+                )
                 evs.append(
                     self.compute_block(
                         cache,

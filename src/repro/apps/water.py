@@ -88,11 +88,9 @@ class WaterNsquaredGenerator(AppGenerator):
                 span_bytes = (n // 2) * MOL_BYTES
                 addr = mols + start * MOL_BYTES
                 wrap = max(0, (addr - mols) + span_bytes - n * MOL_BYTES)
-                for page in space.pages_of(addr, span_bytes - wrap):
-                    evs.append(("r", int(page)))
+                evs.extend(self.read_region(space, addr, span_bytes - wrap))
                 if wrap:
-                    for page in space.pages_of(mols, wrap):
-                        evs.append(("r", int(page)))
+                    evs.extend(self.read_region(space, mols, wrap))
                 evs.append(
                     self.compute_block(
                         cache,
@@ -113,15 +111,15 @@ class WaterNsquaredGenerator(AppGenerator):
                         continue
                     evs.append((ACQUIRE, q))
                     v_addr = mols + q * part_bytes
-                    for page in space.pages_of(v_addr, part_bytes):
-                        evs.append(
-                            (
-                                WRITE,
-                                int(page),
-                                mols_per_page * FORCE_WORDS,
-                                mols_per_page,
-                            )
+                    evs.extend(
+                        self.write_region(
+                            space,
+                            v_addr,
+                            part_bytes,
+                            mols_per_page * FORCE_WORDS,
+                            mols_per_page,
                         )
+                    )
                     evs.append((RELEASE, q))
                 evs.append((BARRIER, bar + 1))
             bar += 2
@@ -174,8 +172,7 @@ class WaterSpatialGenerator(AppGenerator):
                     addr = mols + q * part_bytes
                     if q == (p - 1) % P:
                         addr += part_bytes - boundary_bytes
-                    for page in space.pages_of(addr, boundary_bytes):
-                        evs.append(("r", int(page)))
+                    evs.extend(self.read_region(space, addr, boundary_bytes))
                 # same physics per molecule, but only neighbour-cell pairs
                 evs.append(
                     self.compute_block(

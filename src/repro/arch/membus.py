@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.sim.resources import FluidQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -53,6 +55,12 @@ class MemoryBus:
         self.arch = arch
         self.name = name
         self.queue = FluidQueue(sim, name, bytes_per_cycle=arch.membus_bytes_per_cycle)
+        #: per-class arbitration cost, precomputed once per bus
+        self._arb = {
+            kind: arch.membus_arb_cycles * (1 + extra)
+            for kind, extra in _CLASS_ARB_EXTRA.items()
+        }
+        self._bpc = arch.membus_bytes_per_cycle
         #: summed background demand currently registered (bytes/cycle)
         self._bg_rate = 0.0
         #: statistics
@@ -70,15 +78,23 @@ class MemoryBus:
 
         The caller should ``yield sim.timeout(latency)``.
         """
-        if kind not in _CLASS_ARB_EXTRA:
-            raise ValueError(f"unknown bus class {kind!r}; one of {BUS_CLASSES}")
+        try:
+            arb = self._arb[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown bus class {kind!r}; one of {BUS_CLASSES}"
+            ) from None
         if nbytes < 0:
             raise ValueError("negative transfer size")
-        a = self.arch
-        arb = a.membus_arb_cycles * (1 + _CLASS_ARB_EXTRA[kind])
-        # Background load eats into the bandwidth a burst transfer sees.
-        residual = max(0.05, 1.0 - min(_RHO_CAP, self._bg_rate / a.membus_bytes_per_cycle))
-        service = arb + nbytes / (a.membus_bytes_per_cycle * residual)
+        bpc = self._bpc
+        bg = self._bg_rate
+        if bg == 0.0:
+            # Idle-bus fast path: residual bandwidth is exactly 1.0.
+            service = arb + nbytes / bpc
+        else:
+            # Background load eats into the bandwidth a burst transfer sees.
+            residual = max(0.05, 1.0 - min(_RHO_CAP, bg / bpc))
+            service = arb + nbytes / (bpc * residual)
         self.transfer_count += 1
         self.transfer_bytes += nbytes
         metrics = self.metrics
@@ -87,6 +103,40 @@ class MemoryBus:
             metrics.bump(f"{self.name}.{kind}.bytes", nbytes)
             metrics.sample_queue(f"{self.name}.backlog", self.queue.backlog)
         return self.queue.latency(service)
+
+    def transfer_latency_batch(self, nbytes, kind: str = "mem"):
+        """Vectorized :meth:`transfer_latency` for a same-cycle batch.
+
+        Equivalent to calling :meth:`transfer_latency` element-by-element
+        (identical service arithmetic and backlog accumulation); returns
+        an int64 array of per-transfer latencies.  Used by the analytic
+        fast model to price whole epochs of bus traffic at once.
+        """
+        try:
+            arb = self._arb[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown bus class {kind!r}; one of {BUS_CLASSES}"
+            ) from None
+        sizes = np.asarray(nbytes, dtype=np.float64)
+        if sizes.size and sizes.min() < 0:
+            raise ValueError("negative transfer size")
+        bpc = self._bpc
+        bg = self._bg_rate
+        if bg == 0.0:
+            services = arb + sizes / bpc
+        else:
+            residual = max(0.05, 1.0 - min(_RHO_CAP, bg / bpc))
+            services = arb + sizes / (bpc * residual)
+        self.transfer_count += sizes.size
+        total = int(sizes.sum())
+        self.transfer_bytes += total
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.bump(f"{self.name}.{kind}.transfers", sizes.size)
+            metrics.bump(f"{self.name}.{kind}.bytes", total)
+            metrics.sample_queue(f"{self.name}.backlog", self.queue.backlog)
+        return self.queue.latency_batch(services)
 
     # ------------------------------------------------------------------ #
     # background (compute-block) load

@@ -129,6 +129,7 @@ class Processor:
         self.metrics: Any = None
 
         self._handler_lock = Resource(sim, capacity=1, name=f"{self.name}.irq")
+        self._irq_end_name = f"{self.name}.irq_end"
         self._handler_busy_completed = 0
         self._active_start: Optional[int] = None
         self._active_end: Optional[Event] = None
@@ -159,7 +160,7 @@ class Processor:
         """
         yield self._handler_lock.acquire()
         self._active_start = self.sim.now
-        self._active_end = Event(self.sim, name=f"{self.name}.irq_end")
+        self._active_end = Event(self.sim, name=self._irq_end_name)
         metrics = self.metrics
         if metrics is not None:
             # node-level union tracker: "some CPU of this node is inside a
@@ -198,7 +199,7 @@ class Processor:
             if remaining <= 0:
                 break
             busy_before = self.handler_busy_now()
-            yield self.sim.timeout(remaining)
+            yield remaining
             remaining = self.handler_busy_now() - busy_before
 
     def busy(self, cycles: int, category: str) -> Generator:
@@ -257,7 +258,7 @@ class Processor:
     def wait_cycles(self, cycles: int, category: str) -> Generator:
         """Sleep (not occupying the CPU) charging time to ``category``."""
         self.stats.add(category, int(cycles))
-        yield self.sim.timeout(int(cycles))
+        yield int(cycles)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Processor({self.name})"

@@ -107,6 +107,7 @@ PointLike = Union[Point, Tuple[str, float, ClusterConfig]]
 
 _default_jobs: Optional[int] = None
 _default_checkpoint: Optional[SweepCheckpoint] = None
+_default_fidelity: Optional[str] = None
 
 #: set by the SIGINT/SIGTERM handler installed around checkpointed grids
 _shutdown_event = threading.Event()
@@ -195,6 +196,43 @@ def set_default_checkpoint(checkpoint: Optional[SweepCheckpoint]) -> None:
 
 def default_checkpoint() -> Optional[SweepCheckpoint]:
     return _default_checkpoint
+
+
+def set_default_fidelity(fidelity: Optional[str]) -> None:
+    """Set the process-wide default fidelity level.
+
+    ``None`` resets to ``"des"``.  The CLI's ``--fidelity`` flag uses
+    this so the ~20 experiment drivers pick the level up without
+    per-driver plumbing (mirrors :func:`set_default_jobs`).
+    """
+    global _default_fidelity
+    if fidelity is not None:
+        from repro.core.fidelity import FIDELITY_LEVELS
+
+        if fidelity not in FIDELITY_LEVELS:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r} (valid: {FIDELITY_LEVELS})"
+            )
+    _default_fidelity = fidelity
+
+
+def resolve_fidelity(fidelity: Optional[str] = None) -> str:
+    """Resolve the effective fidelity level (arg, process default, then
+    the ``REPRO_FIDELITY`` environment variable; ``"des"`` otherwise)."""
+    from repro.core.fidelity import FIDELITY_LEVELS
+
+    if fidelity is not None:
+        if fidelity not in FIDELITY_LEVELS:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r} (valid: {FIDELITY_LEVELS})"
+            )
+        return fidelity
+    if _default_fidelity is not None:
+        return _default_fidelity
+    env = os.environ.get("REPRO_FIDELITY", "").strip().lower()
+    if env in FIDELITY_LEVELS:
+        return env
+    return "des"
 
 
 _annotate_resume = False
@@ -459,6 +497,7 @@ def run_points(
     checkpoint: Union[SweepCheckpoint, str, None] = None,
     deadline_s: Optional[float] = None,
     rss_mb: Optional[float] = None,
+    fidelity: Optional[str] = None,
 ) -> List[Union[RunResult, PointFailure]]:
     """Run (or fetch) every point, in parallel, preserving input order.
 
@@ -478,10 +517,30 @@ def run_points(
     :class:`SweepInterrupted` instead of ``KeyboardInterrupt`` (see the
     module docstring).  ``deadline_s``/``rss_mb`` arm the per-point
     resource guards.
+
+    ``fidelity`` selects the serving model (see
+    :mod:`repro.core.fidelity`): ``"des"`` (default) simulates every
+    point; ``"analytic"`` serves the closed-form fast model;
+    ``"auto"`` runs a DES calibration subset and serves the rest from
+    the calibrated fast model with recorded error bounds.
     """
     from repro.core import runcache, sweeps
 
     ordered: List[Point] = [Point(*p) for p in points]
+    level = resolve_fidelity(fidelity)
+    if level != "des":
+        from repro.core.fidelity import run_points_fast
+
+        return run_points_fast(
+            ordered,
+            level,
+            jobs=jobs,
+            retries=retries,
+            strict=strict,
+            checkpoint=checkpoint,
+            deadline_s=deadline_s,
+            rss_mb=rss_mb,
+        )
     unique: List[Point] = []
     seen: Set[Point] = set()
     for p in ordered:

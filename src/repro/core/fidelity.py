@@ -1,0 +1,178 @@
+"""Multi-fidelity point serving: the analytic fast model, optionally
+calibrated against a DES subset.
+
+Three fidelity levels, selected via ``run_points(..., fidelity=...)`` or
+process-wide with :func:`repro.core.executor.set_default_fidelity`:
+
+``"des"``
+    every point through the discrete-event simulator (the default and
+    the reference: bit-identical, cached, golden-gated);
+``"analytic"``
+    every point through :func:`repro.verify.analytic.analytic_run` —
+    microseconds per point, trend-faithful, level-approximate, no
+    calibration (``meta["fidelity"] = "analytic"``, no error bound);
+``"auto"``
+    a small deterministic calibration subset of the grid (first, middle
+    and last unique points) runs under DES; the fitted DES/analytic
+    ratio re-levels the fast model and the spread of the calibration
+    ratios is recorded as a relative error band on every served point
+    (``meta["fidelity.error_bound"]``).  Calibration points are served
+    from their DES results (error bound 0); the rest are served from
+    the scaled fast model.
+
+Analytic results never enter the DES disk cache: the run-cache key is
+reserved for reference-fidelity records (MODEL_VERSION semantics), so a
+later ``fidelity="des"`` sweep is never poisoned by fast-model output.
+An in-memory memo keyed per (app, scale, config) keeps repeated fast
+evaluations cheap within a process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import ClusterConfig
+from repro.core.metrics import RunResult
+
+FIDELITY_LEVELS = ("des", "analytic", "auto")
+
+#: DES points used to calibrate an ``auto`` grid
+CALIBRATION_POINTS = 3
+
+_ANALYTIC_CACHE: Dict[Tuple, RunResult] = {}
+
+
+def clear_caches() -> None:
+    from repro.verify.analytic import clear_summary_cache
+
+    _ANALYTIC_CACHE.clear()
+    clear_summary_cache()
+
+
+def analytic_point(name: str, scale: float, config: ClusterConfig) -> RunResult:
+    """One point through the closed-form model (in-memory memoized)."""
+    from repro.core import sweeps
+    from repro.verify.analytic import analytic_run
+
+    key = (name, scale, config)
+    result = _ANALYTIC_CACHE.get(key)
+    if result is None:
+        trace = sweeps.cached_trace(name, scale, config.comm.page_size, config.seed)
+        result = _ANALYTIC_CACHE[key] = analytic_run(trace, config)
+    return result
+
+
+def calibration_subset(unique_points: Sequence) -> List:
+    """Deterministic DES subset of a grid: first, middle and last points.
+
+    Grid order is meaningful (sweeps list their parameter values in
+    order), so endpoints plus the midpoint bracket the ratio drift along
+    the sweep — interior fast-model points then sit inside the fitted
+    band whenever the drift is monotone, which it is for every cost
+    parameter (the closed form is linear in each).
+    """
+    n = len(unique_points)
+    if n <= CALIBRATION_POINTS:
+        return list(unique_points)
+    idx = sorted({0, n // 2, n - 1})
+    return [unique_points[i] for i in idx]
+
+
+def fit_scale(ratios: Sequence[float]) -> Tuple[float, float]:
+    """Geometric-mean fit of DES/analytic ratios and its relative band.
+
+    Returns ``(scale, error_bound)`` where ``error_bound`` is the
+    largest relative deviation of any calibration ratio from the fit —
+    the per-point error estimate recorded on served fast-model results.
+    """
+    clean = [r for r in ratios if r > 0 and math.isfinite(r)]
+    if not clean:
+        return 1.0, float("nan")
+    scale = math.exp(sum(math.log(r) for r in clean) / len(clean))
+    band = max(abs(r / scale - 1.0) for r in clean)
+    return scale, band
+
+
+def _serve_analytic(
+    point, scale: float, band: float, calibrated: bool
+) -> RunResult:
+    ana = analytic_point(point.app, point.scale, point.config)
+    total = max(1, int(round(ana.total_cycles * scale)))
+    meta = dict(ana.meta)
+    meta["fidelity"] = "analytic"
+    if calibrated:
+        meta["fidelity.scale"] = float(scale)
+        meta["fidelity.error_bound"] = float(band)
+    return dataclasses.replace(ana, total_cycles=total, meta=meta)
+
+
+def run_points_fast(
+    ordered: Sequence,
+    fidelity: str,
+    jobs: Optional[int] = None,
+    retries: Optional[int] = None,
+    strict: bool = True,
+    checkpoint=None,
+    deadline_s: Optional[float] = None,
+    rss_mb: Optional[float] = None,
+) -> List[Union[RunResult, object]]:
+    """Serve a grid at ``"analytic"`` or ``"auto"`` fidelity.
+
+    ``ordered`` is a list of :class:`repro.core.executor.Point`.  The
+    return contract matches :func:`repro.core.executor.run_points`:
+    results in input order, with DES :class:`PointFailure` slots (auto
+    calibration only) when ``strict=False``.
+    """
+    from repro.core.executor import PointFailure, run_points
+
+    unique = []
+    seen = set()
+    for p in ordered:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+
+    if fidelity == "analytic":
+        resolved = {p: _serve_analytic(p, 1.0, 0.0, calibrated=False) for p in unique}
+        return [resolved[p] for p in ordered]
+
+    # auto: DES calibration subset through the full executor machinery
+    # (parallelism, layered caches, checkpoints, resource guards)
+    calib = calibration_subset(unique)
+    des_results = run_points(
+        calib,
+        jobs=jobs,
+        retries=retries,
+        strict=strict,
+        checkpoint=checkpoint,
+        deadline_s=deadline_s,
+        rss_mb=rss_mb,
+        fidelity="des",
+    )
+    ratios: List[float] = []
+    calibrated: Dict = {}
+    for p, out in zip(calib, des_results):
+        calibrated[p] = out
+        if isinstance(out, RunResult):
+            ana = analytic_point(p.app, p.scale, p.config)
+            ratios.append(out.total_cycles / max(1, ana.total_cycles))
+    scale, band = fit_scale(ratios)
+
+    resolved: Dict = {}
+    for p in unique:
+        out = calibrated.get(p)
+        if isinstance(out, RunResult):
+            resolved[p] = out.with_meta(
+                **{
+                    "fidelity": "des",
+                    "fidelity.error_bound": 0.0,
+                    "fidelity.scale": float(scale),
+                }
+            )
+        elif out is not None and isinstance(out, PointFailure):
+            resolved[p] = out
+        else:
+            resolved[p] = _serve_analytic(p, scale, band, calibrated=True)
+    return [resolved[p] for p in ordered]

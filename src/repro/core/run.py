@@ -34,14 +34,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 def _worker(cluster: Cluster, cpu: "Processor", events: List) -> object:
     """The application thread of one processor."""
     proto = cluster.protocol
+    read_immediate = proto.read_immediate
+    write_immediate = proto.write_immediate
     for ev in events:
         kind = ev[0]
         if kind == COMPUTE:
             yield from cpu.run_block(ev[1], ev[2], ev[3])
         elif kind == READ:
-            yield from proto.read(cpu, ev[1])
+            # Most accesses hit a valid copy and cost no simulated time;
+            # the immediate forms skip the generator trampoline for them.
+            if not read_immediate(cpu, ev[1]):
+                yield from proto.read(cpu, ev[1])
         elif kind == WRITE:
-            yield from proto.write(cpu, ev[1], ev[2], ev[3] if len(ev) > 3 else 1)
+            runs = ev[3] if len(ev) > 3 else 1
+            if not write_immediate(cpu, ev[1], ev[2], runs):
+                yield from proto.write(cpu, ev[1], ev[2], runs)
         elif kind == ACQUIRE:
             yield from proto.acquire(cpu, ev[1])
         elif kind == RELEASE:
@@ -49,7 +56,7 @@ def _worker(cluster: Cluster, cpu: "Processor", events: List) -> object:
         elif kind == BARRIER:
             yield from proto.barrier(cpu, ev[1])
         elif kind == TOUCH:
-            yield from proto.first_touch(cpu, ev[1])
+            proto.first_touch_now(cpu, ev[1])
         else:
             raise ValueError(f"unknown trace event kind {kind!r}")
     cpu.finish_time = cluster.sim.now

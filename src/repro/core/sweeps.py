@@ -37,6 +37,9 @@ def clear_caches(disk: bool = False) -> None:
     """
     _RUN_CACHE.clear()
     _TRACE_CACHE.clear()
+    from repro.core import fidelity as _fidelity
+
+    _fidelity.clear_caches()
     if disk:
         cache = runcache.disk_cache()
         if cache is not None:
@@ -114,17 +117,21 @@ def sweep_comm_param(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     checkpoint=None,
+    fidelity: Optional[str] = None,
 ) -> List[RunResult]:
     """Vary one CommParams field over ``values`` (all else achievable).
 
     ``checkpoint`` (a sweep name or :class:`~repro.core.checkpoint.
     SweepCheckpoint`) journals each point for crash-safe resume.
+    ``fidelity`` selects the serving model (see
+    :mod:`repro.core.fidelity`); sweeps are where ``"auto"`` shines —
+    the calibration endpoints bracket the swept parameter.
     """
     from repro.core.executor import run_points
 
     base = base if base is not None else ClusterConfig()
     points = [(app_name, scale, base.with_comm(**{param: v})) for v in values]
-    return run_points(points, jobs=jobs, checkpoint=checkpoint)
+    return run_points(points, jobs=jobs, checkpoint=checkpoint, fidelity=fidelity)
 
 
 def run_apps(
@@ -133,6 +140,7 @@ def run_apps(
     scale: float = 1.0,
     jobs: Optional[int] = None,
     checkpoint=None,
+    fidelity: Optional[str] = None,
 ) -> Dict[str, RunResult]:
     """One run per application under ``config``."""
     from repro.core.executor import run_points
@@ -140,7 +148,10 @@ def run_apps(
     config = config if config is not None else ClusterConfig()
     names = list(apps) if apps is not None else list(APP_ORDER)
     results = run_points(
-        [(name, scale, config) for name in names], jobs=jobs, checkpoint=checkpoint
+        [(name, scale, config) for name in names],
+        jobs=jobs,
+        checkpoint=checkpoint,
+        fidelity=fidelity,
     )
     return dict(zip(names, results))
 

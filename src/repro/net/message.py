@@ -68,6 +68,9 @@ class Message:
     #: the receiver can suppress duplicates.  ``None`` = unsequenced.
     seq: Optional[int] = None
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: memoized (mtu, packets) — the MTU is fixed for a run and the count
+    #: is recomputed on every charge/transmit/retransmit of the message
+    _packets: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
@@ -79,9 +82,14 @@ class Message:
 
     def packet_count(self, mtu: int) -> int:
         """Packets needed at the given MTU (at least one, even if empty)."""
+        cached = self._packets
+        if cached is not None and cached[0] == mtu:
+            return cached[1]
         if mtu <= 0:
             raise ValueError("mtu must be positive")
-        return max(1, self.min_packets, math.ceil(self.size_bytes / mtu))
+        count = max(1, self.min_packets, math.ceil(self.size_bytes / mtu))
+        self._packets = (mtu, count)
+        return count
 
     def wire_bytes(self, mtu: int, header_bytes: int) -> int:
         """Payload plus per-packet header overhead."""

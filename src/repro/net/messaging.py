@@ -145,7 +145,7 @@ class MessagingLayer:
         if overhead:
             if in_handler:
                 # Handler bracket charges this time to 'handler'.
-                yield self.sim.timeout(overhead)
+                yield overhead
             else:
                 yield from cpu.busy(overhead, "overhead")
 

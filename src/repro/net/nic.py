@@ -73,6 +73,7 @@ class NetworkInterface:
         #: hook invoked when the outgoing queue overflows
         self.on_queue_overflow: Optional[Callable[[], None]] = None
         self._sync_stores: Dict[str, Store] = {}
+        self._tx_name = f"ni{node_id}.tx"
         #: (src_node, seq) pairs already delivered — duplicate suppression
         #: for sequenced (reliable) traffic; shared across a NICGroup
         self._delivered: Set[Tuple[int, int]] = set()
@@ -105,7 +106,7 @@ class NetworkInterface:
             raise ValueError(f"message source {msg.src_node} != NI node {self.node_id}")
         if msg.on_deposit is None:
             msg.on_deposit = Event(self.sim, name=f"msg{msg.msg_id}.deposited")
-        self.sim.spawn(self._send_pipeline(msg), name=f"ni{self.node_id}.tx")
+        self.sim.spawn(self._send_pipeline(msg), name=self._tx_name)
         return msg.on_deposit
 
     def _send_pipeline(self, msg: Message):
@@ -154,10 +155,10 @@ class NetworkInterface:
             stages.append(self.core.latency(packets * c.ni_occupancy))
             stages.append(peer.core.latency(packets * c.ni_occupancy))
         if a.model_cut_through:
-            yield self.sim.timeout(max(stages))
+            yield max(stages)
         else:
             # ablation: store-and-forward — pay every stage in sequence
-            yield self.sim.timeout(sum(stages))
+            yield sum(stages)
 
         self.messages_sent += 1
         self.packets_sent += packets

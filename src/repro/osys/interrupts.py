@@ -78,14 +78,14 @@ class InterruptController:
         cost = self.comm.interrupt_cost
         if cost:
             # Issue side: latency only (NI/IPI traversal), no CPU stolen.
-            yield self.sim.timeout(cost)
+            yield cost
         result = yield from cpu.run_handler(self._with_delivery(body, cost))
         done.succeed(result)
 
     def _with_delivery(self, body: Iterator, cost: int):
         if cost:
             # Delivery side: kernel entry/context switch on the victim CPU.
-            yield self.sim.timeout(cost)
+            yield cost
         result = yield from body
         return result
 

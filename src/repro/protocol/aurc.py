@@ -44,6 +44,25 @@ class AURCProtocol(HLRCProtocol):
         self._outstanding: List[List[Event]] = [[] for _ in range(self.ctx.n_procs)]
 
     # ------------------------------------------------------------------ #
+    def write_immediate(self, cpu: "Processor", page: int, words: int = 1, runs: int = 1) -> bool:
+        """AURC home-page writes raise no update traffic and cost nothing."""
+        ctx = self.ctx
+        node_id = ctx.node_id_of_cpu(cpu)
+        home = ctx.directory.home(page, node_id)
+        if home != node_id:
+            return False  # remote home: the automatic update must ship
+        pw = page_words(ctx.arch, ctx.comm.page_size)
+        if words > pw:
+            words = pw
+        d = self.dirty[cpu.global_id]
+        cur = d.get(page, 0) + words
+        d[page] = cur if cur < pw else pw
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now, EV_WRITE, (cpu.global_id, node_id, page, home, words)
+            )
+        return True
+
     def write(self, cpu: "Processor", page: int, words: int = 1, runs: int = 1):
         ctx = self.ctx
         yield from self.read(cpu, page)  # write fault still fetches

@@ -154,32 +154,57 @@ class HLRCProtocol:
     # ------------------------------------------------------------------ #
     # trace operations (run in the application process)
     # ------------------------------------------------------------------ #
-    def first_touch(self, cpu: "Processor", page: int):
-        """Initialization-time touch establishing first-touch placement."""
+    def first_touch_now(self, cpu: "Processor", page: int) -> None:
+        """Initialization-time touch establishing first-touch placement.
+
+        Touches never cost simulated time, so this is a plain call the
+        executor can make without spinning up a generator.
+        """
         self.ctx.directory.home(page, self.ctx.node_id_of_cpu(cpu))
+
+    def first_touch(self, cpu: "Processor", page: int):
+        """Generator form of :meth:`first_touch_now` (API uniformity)."""
+        self.first_touch_now(cpu, page)
         return
         yield  # pragma: no cover — generator marker for API uniformity
 
-    def read(self, cpu: "Processor", page: int):
-        """Shared read at page granularity; faults and fetches as needed."""
+    def read_immediate(self, cpu: "Processor", page: int) -> bool:
+        """Complete a read that needs no simulated time; ``True`` if done.
+
+        Home copies, already-valid copies, and attribution-mode free
+        fetches involve no events, so the executor can skip the
+        generator machinery entirely.  A ``False`` return leaves all
+        protocol state untouched — the caller falls back to :meth:`read`.
+        """
         ctx = self.ctx
         node_id = ctx.node_id_of_cpu(cpu)
         home = ctx.directory.home(page, node_id)
         if home == node_id:
-            return  # the home copy is always valid at the home
+            return True  # the home copy is always valid at the home
         mem = self.mem[node_id]
         vlog = ctx.verify
         if page in mem.valid:
             if vlog is not None:
                 vlog.record(ctx.sim.now, EV_READ, (cpu.global_id, node_id, page, home))
-            return
+            return True
         if ctx.free_page_fetches:
             # Section 7 attribution mode: faults appear local and free.
             mem.valid.add(page)
             if vlog is not None:
                 vlog.record(ctx.sim.now, EV_FETCH, (cpu.global_id, node_id, page, home))
                 vlog.record(ctx.sim.now, EV_READ, (cpu.global_id, node_id, page, home))
+            return True
+        return False
+
+    def read(self, cpu: "Processor", page: int):
+        """Shared read at page granularity; faults and fetches as needed."""
+        if self.read_immediate(cpu, page):
             return
+        ctx = self.ctx
+        node_id = ctx.node_id_of_cpu(cpu)
+        home = ctx.directory.home(page, node_id)
+        mem = self.mem[node_id]
+        vlog = ctx.verify
         # --- page fault ---
         self.counters.bump("page_faults")
         cpu.stats.count("page_faults")
@@ -215,6 +240,32 @@ class HLRCProtocol:
             vlog.record(ctx.sim.now, EV_FETCH, (cpu.global_id, node_id, page, home))
             vlog.record(ctx.sim.now, EV_READ, (cpu.global_id, node_id, page, home))
         ev.succeed()
+
+    def write_immediate(self, cpu: "Processor", page: int, words: int = 1, runs: int = 1) -> bool:
+        """Complete a write that needs no simulated time; ``True`` if done.
+
+        Immediate iff the read side is immediate and no twin must be
+        created (home page, or twin already present this interval).  A
+        ``False`` return leaves all protocol state untouched.
+        """
+        ctx = self.ctx
+        node_id = ctx.node_id_of_cpu(cpu)
+        home = ctx.directory.home(page, node_id)
+        if home != node_id and page not in self.mem[node_id].twins:
+            return False  # twin creation costs simulated time
+        if not self.read_immediate(cpu, page):
+            return False
+        pw = page_words(ctx.arch, ctx.comm.page_size)
+        if words > pw:
+            words = pw
+        d = self.dirty[cpu.global_id]
+        cur = d.get(page, 0) + words
+        d[page] = cur if cur < pw else pw
+        if ctx.verify is not None:
+            ctx.verify.record(
+                ctx.sim.now, EV_WRITE, (cpu.global_id, node_id, page, home, words)
+            )
+        return True
 
     def write(self, cpu: "Processor", page: int, words: int = 1, runs: int = 1):
         """Shared write: fetch if needed, twin on first write, track dirt."""
@@ -382,7 +433,7 @@ class HLRCProtocol:
     # ------------------------------------------------------------------ #
     def _h_page_fetch(self, cpu: "Processor", msg: "Message"):
         ctx = self.ctx
-        yield ctx.sim.timeout(ctx.arch.handler_base_cycles + ctx.arch.tlb_kernel_cycles)
+        yield ctx.arch.handler_base_cycles + ctx.arch.tlb_kernel_cycles
         node_id = ctx.node_id_of_cpu(cpu)
         self.mem[node_id].faults_served += 1
         yield from ctx.msg.send_reply(cpu, msg, ctx.comm.page_size)
@@ -391,7 +442,7 @@ class HLRCProtocol:
         ctx = self.ctx
         entries = msg.payload
         apply_cost = sum(diff_apply_cost(ctx.arch, w) for _, w in entries)
-        yield ctx.sim.timeout(ctx.arch.handler_base_cycles + apply_cost)
+        yield ctx.arch.handler_base_cycles + apply_cost
         if ctx.verify is not None:
             self._emit_diff_apply(cpu, msg)
         yield from ctx.msg.send_reply(cpu, msg, ACK_BYTES)

@@ -234,7 +234,7 @@ class LockManager:
         ctx = self.ctx
         lock_id, _req_node, _req_proc = msg.payload
         st = self.state(lock_id)
-        yield ctx.sim.timeout(ctx.arch.handler_base_cycles)
+        yield ctx.arch.handler_base_cycles
         free_at_home = (
             st.token_node == st.home_node
             and st.held_by is None
@@ -266,7 +266,7 @@ class LockManager:
         lock_id = msg.payload
         st = self.state(lock_id)
         node_id = ctx.node_id_of_cpu(cpu)
-        yield ctx.sim.timeout(ctx.arch.handler_base_cycles)
+        yield ctx.arch.handler_base_cycles
         if st.token_node == node_id and st.held_by is None and st.granted_to is None:
             st.token_node = None
             self._wake_local(st)
@@ -287,7 +287,7 @@ class LockManager:
         ctx = self.ctx
         lock_id, vc_snapshot = msg.payload
         st = self.state(lock_id)
-        yield ctx.sim.timeout(ctx.arch.handler_base_cycles)
+        yield ctx.arch.handler_base_cycles
         st.token_node = st.home_node
         st.recall_sent = False
         if vc_snapshot is not None:
@@ -318,7 +318,7 @@ class LockManager:
         st.granted_to = req_proc
         if isinstance(msg, _LocalRequest):
             # home-local requester: hand over through shared memory
-            yield self.ctx.sim.timeout(self.ctx.arch.smp_sync_cycles)
+            yield self.ctx.arch.smp_sync_cycles
             msg.reply_to.succeed(st.vc_snapshot)
             return
         size = self.grant_size_fn(req_proc, st.vc_snapshot)

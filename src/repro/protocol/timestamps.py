@@ -43,7 +43,7 @@ class VectorClock:
         """In-place join (component-wise max)."""
         if len(other.v) != len(self.v):
             raise ValueError("clock width mismatch")
-        self.v = [max(a, b) for a, b in zip(self.v, other.v)]
+        self.v = [a if a >= b else b for a, b in zip(self.v, other.v)]
 
     def copy(self) -> "VectorClock":
         return VectorClock(len(self.v), self.v)
@@ -91,10 +91,17 @@ class IntervalLog:
     def __init__(self, n_procs: int) -> None:
         self.n_procs = n_procs
         self.intervals: List[List[Tuple[int, ...]]] = [[] for _ in range(n_procs)]
+        #: per-proc prefix sums of notice counts: ``_count_prefix[p][k]``
+        #: is the total number of write notices in intervals 1..k, so a
+        #: clock-delta count is two lookups instead of a scan
+        self._count_prefix: List[List[int]] = [[0] for _ in range(n_procs)]
 
     def append(self, proc: int, pages: Iterable[int]) -> int:
         """Record a new interval for ``proc``; returns its number."""
-        self.intervals[proc].append(tuple(pages))
+        pages_t = tuple(pages)
+        self.intervals[proc].append(pages_t)
+        prefix = self._count_prefix[proc]
+        prefix.append(prefix[-1] + len(pages_t))
         return len(self.intervals[proc])
 
     def interval_count(self, proc: int) -> int:
@@ -112,22 +119,27 @@ class IntervalLog:
         """Pages with write notices in intervals covered by ``new`` but not
         by ``old`` — exactly what an acquirer must invalidate."""
         pages: Set[int] = set()
+        update = pages.update
         for proc in range(self.n_procs):
             lo, hi = old[proc], new[proc]
             if hi > lo:
                 log = self.intervals[proc]
-                hi = min(hi, len(log))
-                for k in range(lo, hi):
-                    pages.update(log[k])
+                if hi > len(log):
+                    hi = len(log)
+                update(*log[lo:hi])
         return pages
 
     def notice_count_between(self, old: VectorClock, new: VectorClock) -> int:
         """Number of write notices in the delta (sizes the grant message)."""
         count = 0
         for proc in range(self.n_procs):
-            lo, hi = old[proc], min(new[proc], len(self.intervals[proc]))
-            for k in range(lo, hi):
-                count += len(self.intervals[proc][k])
+            prefix = self._count_prefix[proc]
+            lo, hi = old[proc], new[proc]
+            last = len(prefix) - 1
+            if hi > last:
+                hi = last
+            if hi > lo:
+                count += prefix[hi] - prefix[lo]
         return count
 
 

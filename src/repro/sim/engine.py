@@ -1,13 +1,28 @@
-"""The event-heap scheduler at the heart of the simulator.
+"""The event-calendar scheduler at the heart of the simulator.
 
-The engine is intentionally tiny: a binary heap of ``(time, seq, callback,
-args)`` entries.  Everything else — processes, events, resources — is built
-on top of :meth:`Simulator.schedule`.
+The engine keeps a *bucketed calendar*: a dict mapping each pending
+timestamp to a flat batch ``[fn, args, fn, args, ...]`` of callbacks
+scheduled for that cycle, plus a small binary heap of the *distinct*
+timestamps.  The SVM workloads schedule the overwhelming majority of
+events a short, repeated set of delays ahead (handler costs, bus grants,
+link hops), so many events share a cycle and insertion into an existing
+bucket is a plain list append — O(1) instead of an O(log n) heap sift.
+The heap only sees one entry per distinct timestamp, shrinking it by the
+mean bucket occupancy; genuinely far-future events degrade gracefully to
+ordinary heap behaviour.
 
-Times are integer processor cycles.  Floating-point times are accepted but
-rounded up, because every architectural cost in the reproduction is
-expressed in whole cycles; rounding up keeps costs conservative and, more
-importantly, keeps the heap deterministic across platforms.
+Dispatch order is exactly the order the old ``(time, seq)`` heap
+produced: within one timestamp, batch order *is* schedule order (there
+is no cancellation API, and ``seq`` increased monotonically), and a
+callback scheduling into the cycle currently being drained lands in a
+fresh bucket that is dispatched immediately after the current batch —
+precisely where the heap would have placed the higher-``seq`` entries.
+Runs are therefore bit-identical to the heap engine.
+
+Times are integer processor cycles.  Floating-point times are accepted
+but rounded up, because every architectural cost in the reproduction is
+expressed in whole cycles; rounding up keeps costs conservative and,
+more importantly, keeps the calendar deterministic across platforms.
 """
 
 from __future__ import annotations
@@ -29,8 +44,8 @@ class SimulationStuckError(SimulationError):
 
     Raised by the :class:`Watchdog` in two situations:
 
-    * **deadlock** — the event heap drained while (non-daemon) processes
-      remain blocked on waitables that can never fire;
+    * **deadlock** — the event calendar drained while (non-daemon)
+      processes remain blocked on waitables that can never fire;
     * **livelock** — events keep dispatching but simulated time stops
       advancing (e.g. a zero-delay self-rescheduling loop).
 
@@ -54,11 +69,11 @@ DEFAULT_LIVELOCK_EVENTS = 1_000_000
 class Watchdog:
     """Stuck-simulation detection policy for a :class:`Simulator`.
 
-    ``deadlock`` checks cost nothing per event (one scan when the heap
-    drains); ``livelock_events`` adds a per-event counter, so it forces
-    the general dispatch loop — enable it when the run can plausibly spin
-    (fault injection, new protocol code), leave it ``None`` for the
-    optimized hot path.
+    ``deadlock`` checks cost nothing per event (one scan when the
+    calendar drains); ``livelock_events`` adds a per-event counter, so it
+    forces the general dispatch loop — enable it when the run can
+    plausibly spin (fault injection, new protocol code), leave it
+    ``None`` for the optimized hot path.
     """
 
     deadlock: bool = True
@@ -84,8 +99,9 @@ class Simulator:
 
     __slots__ = (
         "now",
-        "_heap",
-        "_seq",
+        "_buckets",
+        "_times",
+        "_pending",
         "_dispatched",
         "tracer",
         "_running",
@@ -99,8 +115,11 @@ class Simulator:
         watchdog: Optional[Watchdog] = None,
     ) -> None:
         self.now: int = 0
-        self._heap: list[tuple[int, int, Callable[..., None], tuple]] = []
-        self._seq: int = 0
+        #: absolute time -> flat batch [fn, args, fn, args, ...]
+        self._buckets: dict[int, list] = {}
+        #: min-heap of the distinct times present in ``_buckets``
+        self._times: list[int] = []
+        self._pending: int = 0
         self._dispatched: int = 0
         self._running = False
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
@@ -122,8 +141,14 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         when = self.now + (delay if type(delay) is int else int(math.ceil(delay)))
-        heapq.heappush(self._heap, (when, self._seq, fn, args))
-        self._seq += 1
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [fn, args]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(fn)
+            bucket.append(args)
+        self._pending += 1
 
     def schedule_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute time ``when``."""
@@ -132,18 +157,32 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when_i} < now {self.now} (time runs forward)"
             )
-        heapq.heappush(self._heap, (when_i, self._seq, fn, args))
-        self._seq += 1
+        bucket = self._buckets.get(when_i)
+        if bucket is None:
+            self._buckets[when_i] = [fn, args]
+            heapq.heappush(self._times, when_i)
+        else:
+            bucket.append(fn)
+            bucket.append(args)
+        self._pending += 1
 
     def schedule_now(self, fn: Callable[..., None], *args: Any) -> None:
         """Schedule ``fn(*args)`` at the current time (after pending events)."""
-        self.schedule_at(self.now, fn, *args)
+        when = self.now
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [fn, args]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(fn)
+            bucket.append(args)
+        self._pending += 1
 
     # ------------------------------------------------------------------ #
     # running
     # ------------------------------------------------------------------ #
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Dispatch events until the heap drains.
+        """Dispatch events until the calendar drains.
 
         Parameters
         ----------
@@ -173,62 +212,111 @@ class Simulator:
             and not trace.enabled
             and livelock_limit is None
         ):
-            # Hot path: drain-the-heap with no deadline, no event budget
-            # and tracing off (the tracer's flag is sampled here once;
-            # only a callback mutating this tracer mid-run could observe
-            # the difference).  Hot names are bound locally and each
-            # iteration is a single heappop — no peek, no per-event
-            # deadline/budget/tracer branches.  The deadlock check runs
-            # once after the heap drains, so it costs nothing per event.
-            heap = self._heap
+            # Hot path: drain-the-calendar with no deadline, no event
+            # budget and tracing off (the tracer's flag is sampled here
+            # once; only a callback mutating this tracer mid-run could
+            # observe the difference).  Hot names are bound locally and
+            # each iteration drains one whole bucket — one heap pop and
+            # one dict pop per *timestamp*, then a branch-free sweep of
+            # the flat [fn, args, ...] batch.
+            times = self._times
+            buckets = self._buckets
             pop = heapq.heappop
             dispatched = self._dispatched
+            t = i = n = 0
+            batch: list = []
             try:
-                while heap:
-                    entry = pop(heap)
-                    self.now = entry[0]
-                    dispatched += 1
-                    entry[2](*entry[3])
+                while times:
+                    t = pop(times)
+                    batch = buckets.pop(t)
+                    self.now = t
+                    i = 0
+                    n = len(batch)
+                    while i < n:
+                        batch[i](*batch[i + 1])
+                        i += 2
+                    dispatched += n >> 1
             finally:
-                self._dispatched = dispatched
                 self._running = False
+                if i < n:
+                    # A callback raised mid-batch: the failing event was
+                    # consumed (popped-and-counted, heap semantics); put
+                    # the rest back ahead of anything the batch scheduled
+                    # into this same cycle.
+                    dispatched += (i >> 1) + 1
+                    rest = batch[i + 2 :]
+                    if rest:
+                        cur = buckets.get(t)
+                        if cur is None:
+                            buckets[t] = rest
+                            heapq.heappush(times, t)
+                        else:
+                            buckets[t] = rest + cur
+                self._dispatched = dispatched
+                self._pending = sum(len(b) for b in buckets.values()) >> 1
             self._check_deadlock()
             return dispatched - dispatched_before
 
+        times = self._times
+        buckets = self._buckets
         stalled = 0  # consecutive dispatches without time progress
+        t = i = n = 0
+        batch = []
         try:
-            while self._heap:
-                when, seq, fn, args = self._heap[0]
-                if until is not None and when > until:
+            while times:
+                t = times[0]
+                if until is not None and t > until:
                     self.now = int(until)
                     break
-                heapq.heappop(self._heap)
-                if livelock_limit is not None:
-                    if when > self.now:
-                        stalled = 0
-                    else:
-                        stalled += 1
-                        if stalled > livelock_limit:
-                            raise SimulationStuckError(
-                                f"livelock: {stalled} events dispatched at "
-                                f"t={self.now} without simulated-time "
-                                f"progress; live processes: "
-                                f"{self._live_process_names() or '(none)'}",
-                                blocked=self._live_process_names(),
-                            )
-                self.now = when
-                self._dispatched += 1
-                if max_events is not None and self._dispatched - dispatched_before > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                if trace.enabled:
-                    trace.record(when, "dispatch", getattr(fn, "__qualname__", repr(fn)))
-                fn(*args)
+                heapq.heappop(times)
+                batch = buckets.pop(t)
+                i = 0
+                n = len(batch)
+                while i < n:
+                    fn = batch[i]
+                    args = batch[i + 1]
+                    i += 2
+                    self._pending -= 1
+                    if livelock_limit is not None:
+                        if t > self.now:
+                            stalled = 0
+                        else:
+                            stalled += 1
+                            if stalled > livelock_limit:
+                                raise SimulationStuckError(
+                                    f"livelock: {stalled} events dispatched at "
+                                    f"t={self.now} without simulated-time "
+                                    f"progress; live processes: "
+                                    f"{self._live_process_names() or '(none)'}",
+                                    blocked=self._live_process_names(),
+                                )
+                    self.now = t
+                    self._dispatched += 1
+                    if (
+                        max_events is not None
+                        and self._dispatched - dispatched_before > max_events
+                    ):
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    if trace.enabled:
+                        trace.record(t, "dispatch", getattr(fn, "__qualname__", repr(fn)))
+                    fn(*args)
             else:
                 if until is not None and until > self.now:
                     self.now = int(until)
         finally:
             self._running = False
-        if until is None and not self._heap:
+            if i < n:
+                # stopped mid-batch (max_events / livelock / callback
+                # error): restore the undispatched remainder ahead of any
+                # same-cycle events the batch scheduled.
+                rest = batch[i:]
+                cur = buckets.get(t)
+                if cur is None:
+                    buckets[t] = rest
+                    heapq.heappush(times, t)
+                else:
+                    buckets[t] = rest + cur
+        if until is None and not times:
             self._check_deadlock()
         return self._dispatched - dispatched_before
 
@@ -241,7 +329,7 @@ class Simulator:
         )
 
     def _check_deadlock(self) -> None:
-        """Raise if the heap drained while non-daemon processes remain.
+        """Raise if the calendar drained while non-daemon processes remain.
 
         With no pending events, nothing can ever resume them — that is a
         true deadlock, not a transient.  Only runs when a watchdog with
@@ -254,29 +342,41 @@ class Simulator:
         blocked = self._live_process_names()
         if blocked:
             raise SimulationStuckError(
-                f"deadlock: event heap drained at t={self.now} with "
+                f"deadlock: event calendar drained at t={self.now} with "
                 f"{len(blocked)} blocked process(es): {', '.join(blocked)}",
                 blocked=blocked,
             )
 
     def step(self) -> bool:
-        """Dispatch a single event.  Returns ``False`` if the heap is empty."""
-        if not self._heap:
+        """Dispatch a single event.  Returns ``False`` if none is queued."""
+        times = self._times
+        if not times:
             return False
-        when, _seq, fn, args = heapq.heappop(self._heap)
-        self.now = when
+        t = times[0]
+        batch = self._buckets[t]
+        fn = batch[0]
+        args = batch[1]
+        if len(batch) > 2:
+            # Later same-cycle arrivals append behind the remainder, so
+            # leaving the shortened batch in place preserves order.
+            del batch[:2]
+        else:
+            heapq.heappop(times)
+            del self._buckets[t]
+        self.now = t
+        self._pending -= 1
         self._dispatched += 1
         fn(*args)
         return True
 
     def peek(self) -> Optional[int]:
         """Time of the next pending event, or ``None`` if none is queued."""
-        return self._heap[0][0] if self._heap else None
+        return self._times[0] if self._times else None
 
     @property
     def pending(self) -> int:
         """Number of events currently queued."""
-        return len(self._heap)
+        return self._pending
 
     @property
     def dispatched(self) -> int:
@@ -288,14 +388,10 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def timeout(self, delay: float) -> "Timeout":
         """A waitable that resumes the yielding process after ``delay``."""
-        from repro.sim.primitives import Timeout
-
         return Timeout(self, delay)
 
     def event(self) -> "Event":
         """A fresh one-shot :class:`~repro.sim.primitives.Event`."""
-        from repro.sim.primitives import Event
-
         return Event(self)
 
     def spawn(self, gen: Iterator, name: str = "", daemon: bool = False) -> "Process":
@@ -305,11 +401,10 @@ class Simulator:
         accounting (long-lived service loops that legitimately outlive
         the workload, like a dedicated protocol poller).
         """
-        from repro.sim.process import Process
-
         return Process(self, gen, name=name, daemon=daemon)
 
 
-# typing-only imports for annotations above
+# Bound at module level (not per call) so the conveniences above resolve
+# them with one global lookup on the hot path.
 from repro.sim.primitives import Event, Timeout  # noqa: E402
 from repro.sim.process import Process  # noqa: E402

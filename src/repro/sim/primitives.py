@@ -8,6 +8,7 @@ when the condition is satisfied.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,7 +39,7 @@ class Timeout(Waitable):
         self.delay = delay
 
     def _wait(self, process: "Process") -> None:
-        self.sim.schedule(self.delay, process._resume, None)
+        self.sim.schedule(self.delay, process._step, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.delay})"
@@ -89,8 +90,22 @@ class Event(Waitable):
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.sim.schedule_now(proc._resume, value)
+        if waiters:
+            # _step directly (not the _resume wrapper), with the calendar
+            # insert inlined (same bucket-append semantics as
+            # Simulator.schedule_now): saves a call frame and an *args
+            # pack per wakeup on the hottest resume path.
+            sim = self.sim
+            when = sim.now
+            args = (value,)
+            bucket = sim._buckets.get(when)
+            if bucket is None:
+                bucket = sim._buckets[when] = []
+                heappush(sim._times, when)
+            for proc in waiters:
+                bucket.append(proc._step)
+                bucket.append(args)
+            sim._pending += len(waiters)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -110,7 +125,7 @@ class Event(Waitable):
             if self._exc is not None:
                 self.sim.schedule_now(process._resume_exc, self._exc)
             else:
-                self.sim.schedule_now(process._resume, self._value)
+                self.sim.schedule_now(process._step, self._value)
         else:
             self._waiters.append(process)
 
@@ -219,6 +234,10 @@ class _CallbackWaiter:
         self._on_exc = on_exc
 
     def _resume(self, value: Any) -> None:
+        self._on_value(value)
+
+    # Event wakeups schedule ``_step`` (the Process fast path); mirror it.
+    def _step(self, value: Any = None) -> None:
         self._on_value(value)
 
     def _resume_exc(self, exc: BaseException) -> None:

@@ -21,6 +21,8 @@ import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, List, Optional, Tuple
 
+import numpy as np
+
 from repro.sim.primitives import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,7 +36,7 @@ class Resource:
     must later call :meth:`release`.  Fairness is strict FIFO.
     """
 
-    __slots__ = ("sim", "capacity", "_in_use", "_queue", "name")
+    __slots__ = ("sim", "capacity", "_in_use", "_queue", "name", "_acquire_name")
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -42,6 +44,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._acquire_name = f"{name}.acquire"
         self._in_use = 0
         self._queue: Deque[Event] = deque()
 
@@ -55,7 +58,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that succeeds when a slot is granted."""
-        ev = Event(self.sim, name=f"{self.name}.acquire")
+        ev = Event(self.sim, name=self._acquire_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
@@ -82,7 +85,7 @@ class PriorityResource:
     Ties break FIFO.
     """
 
-    __slots__ = ("sim", "capacity", "_in_use", "_heap", "_seq", "name")
+    __slots__ = ("sim", "capacity", "_in_use", "_heap", "_seq", "name", "_acquire_name")
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -90,6 +93,7 @@ class PriorityResource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._acquire_name = f"{name}.acquire"
         self._in_use = 0
         self._heap: List[Tuple[int, int, Event]] = []
         self._seq = 0
@@ -103,7 +107,7 @@ class PriorityResource:
         return len(self._heap)
 
     def acquire(self, priority: int = 0) -> Event:
-        ev = Event(self.sim, name=f"{self.name}.acquire")
+        ev = Event(self.sim, name=self._acquire_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
@@ -130,11 +134,12 @@ class Store:
     NI's own back-pressure logic), consumers ``yield store.get()``.
     """
 
-    __slots__ = ("sim", "_items", "_getters", "name")
+    __slots__ = ("sim", "_items", "_getters", "name", "_get_name")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
+        self._get_name = f"{name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
 
@@ -148,7 +153,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.sim, name=f"{self.name}.get")
+        ev = Event(self.sim, name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -194,7 +199,10 @@ class FluidQueue:
         """Enqueue a request of ``service`` cycles; return its sojourn time."""
         if service < 0:
             raise ValueError(f"negative service time {service!r}")
-        service_i = int(-(-service // 1))  # ceil for ints/floats alike
+        if type(service) is int:
+            service_i = service
+        else:
+            service_i = int(-(-service // 1))  # ceil
         now = self.sim.now
         start = now if now > self._free_at else self._free_at
         self._free_at = start + service_i
@@ -202,11 +210,47 @@ class FluidQueue:
         self.requests += 1
         return self._free_at - now
 
+    def latency_batch(self, services) -> np.ndarray:
+        """Vectorized :meth:`latency` over a same-cycle batch of requests.
+
+        Exactly equivalent to calling :meth:`latency` once per element in
+        order (same ceil, same backlog accumulation); returns the per-
+        request sojourn times as an int64 array.  Once the first request
+        is enqueued the server stays backlogged for the rest of the
+        batch, so the sojourns are a prefix sum of the service times
+        offset by any pre-existing backlog.
+        """
+        svc = np.asarray(services)
+        if svc.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if svc.min() < 0:
+            raise ValueError("negative service time in batch")
+        if svc.dtype.kind in "iu":
+            svc = svc.astype(np.int64, copy=False)
+        else:
+            svc = np.ceil(svc).astype(np.int64)
+        now = self.sim.now
+        backlog = self._free_at - now
+        if backlog < 0:
+            backlog = 0
+        sojourns = np.cumsum(svc) + backlog
+        self._free_at = now + int(sojourns[-1])
+        self.busy_cycles += int(svc.sum())
+        self.requests += svc.size
+        return sojourns
+
     def transfer(self, nbytes: int) -> int:
         """Enqueue a transfer of ``nbytes``; return its sojourn time."""
         if self.bytes_per_cycle is None:
             raise RuntimeError(f"fluid queue {self.name!r} has no bandwidth set")
         return self.latency(nbytes / self.bytes_per_cycle)
+
+    def transfer_batch(self, nbytes) -> np.ndarray:
+        """Vectorized :meth:`transfer` over a same-cycle batch of sizes."""
+        if self.bytes_per_cycle is None:
+            raise RuntimeError(f"fluid queue {self.name!r} has no bandwidth set")
+        sizes = np.asarray(nbytes, dtype=np.float64)
+        return self.latency_batch(sizes / self.bytes_per_cycle)
 
     def service_cycles(self, nbytes: int) -> int:
         """Pure service time for ``nbytes`` (no queueing, no state change)."""

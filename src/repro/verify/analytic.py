@@ -1,0 +1,451 @@
+"""Closed-form analytic fast model (LogP-style) of an SVM run.
+
+The DES engine prices every protocol event through queues, interrupts
+and handler occupancy.  This module prices the same trace with a
+closed-form cost model instead: a timing-free, protocol-aware walk of
+the trace counts *what happens* (page fetches, twins, diffs, automatic
+updates, lock transfers, invalidations, wire bytes), and a LogP-style
+cost vector built from :class:`~repro.arch.params.CommParams` /
+:class:`~repro.arch.params.ArchParams` prices *what it costs*.  The
+final combination is a handful of numpy matrix operations over
+(epoch x processor) count matrices, so sweeping a communication
+parameter re-prices cached counts in microseconds instead of
+re-simulating.
+
+Fidelity contract
+-----------------
+The model is **trend-faithful, level-approximate**: every cost in the
+closed form is linear in the swept parameters (host overhead, NI
+occupancy, interrupt cost, inverse bandwidth), and the event counts
+respond to page size and clustering exactly as the DES protocol does
+(same first-touch homes, same node mapping, same flush semantics) — so
+the paper-figure *trends* are reproduced by construction.  Absolute
+levels ignore queueing-delay variance and lock contention, which is why
+``fidelity="auto"`` (see :mod:`repro.core.executor`) calibrates the
+model against a small DES subset and reports a fitted error band
+alongside every fast-model point.
+
+Two stages:
+
+* :func:`trace_summary` — walk the trace once, per protocol; counts
+  depend only on (trace, protocol, clustering, home policy), *not* on
+  the cost parameters, and are cached in-process;
+* :func:`analytic_run` — combine a cached summary with the config's
+  cost vector; returns a regular :class:`~repro.core.metrics.RunResult`
+  whose ``meta["fidelity"]`` is ``"analytic"``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import (
+    ACQUIRE,
+    BARRIER,
+    COMPUTE,
+    READ,
+    RELEASE,
+    TOUCH,
+    WRITE,
+    AppTrace,
+)
+from repro.arch.params import ArchParams, CommParams
+from repro.arch.processor import ProcessorStats
+from repro.core.config import ClusterConfig
+from repro.core.metrics import RunResult
+from repro.osys.vm import PageDirectory
+from repro.protocol.base import (
+    ACK_BYTES,
+    GRANT_BASE_BYTES,
+    REQUEST_HEADER_BYTES,
+    ProtocolCounters,
+)
+
+__all__ = ["analytic_run", "trace_summary", "clear_summary_cache"]
+
+
+@dataclass
+class TraceSummary:
+    """Cost-independent event counts of one trace walk.
+
+    All matrices are ``(n_epochs, n_procs)`` except the ``node_*`` ones,
+    which are ``(n_epochs, n_nodes)``.  An *epoch* is a barrier-delimited
+    slice of the run (every processor crosses the same barrier sequence).
+    """
+
+    n_procs: int
+    n_nodes: int
+    work: np.ndarray
+    stall: np.ndarray
+    fetches: np.ndarray
+    twins: np.ndarray
+    diff_pages: np.ndarray
+    diff_words: np.ndarray
+    flushes: np.ndarray
+    update_pkts: np.ndarray
+    update_words: np.ndarray
+    local_acq: np.ndarray
+    remote_acq: np.ndarray
+    #: payload bytes crossing each node's NI (both directions)
+    node_wire_bytes: np.ndarray
+    #: packets through each node's NI (prices NI occupancy serialization)
+    node_pkts: np.ndarray
+    #: pages invalidated per node at the epoch-closing barrier
+    node_invalidations: np.ndarray
+
+
+#: (trace identity, protocol, clustering, policy) -> TraceSummary
+_SUMMARY_CACHE: Dict[Tuple, TraceSummary] = {}
+
+
+def clear_summary_cache() -> None:
+    _SUMMARY_CACHE.clear()
+
+
+def _summary_key(trace: AppTrace, config: ClusterConfig) -> Tuple:
+    return (
+        trace.name,
+        trace.problem,
+        trace.n_procs,
+        id(trace),
+        config.protocol,
+        config.comm.procs_per_node,
+        config.comm.page_size,
+        config.home_policy,
+    )
+
+
+def trace_summary(trace: AppTrace, config: ClusterConfig) -> TraceSummary:
+    """Protocol-aware, timing-free walk of ``trace`` (cached)."""
+    key = _summary_key(trace, config)
+    cached = _SUMMARY_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    P = trace.n_procs
+    ppn = config.comm.procs_per_node
+    n_nodes = max(1, P // ppn)
+    aurc = config.protocol == "aurc"
+    page_words = max(1, config.comm.page_size // config.arch.word_bytes)
+    word_bytes = config.arch.word_bytes
+    directory = PageDirectory(
+        page_size=config.comm.page_size, n_nodes=n_nodes, policy=config.home_policy
+    )
+
+    n_barriers = sum(1 for ev in trace.events[0] if ev[0] == BARRIER)
+    n_epochs = n_barriers + 1
+
+    shape = (n_epochs, P)
+    mats = {
+        name: np.zeros(shape, dtype=np.int64)
+        for name in (
+            "work",
+            "stall",
+            "fetches",
+            "twins",
+            "diff_pages",
+            "diff_words",
+            "flushes",
+            "update_pkts",
+            "update_words",
+            "local_acq",
+            "remote_acq",
+        )
+    }
+    node_shape = (n_epochs, n_nodes)
+    node_wire = np.zeros(node_shape, dtype=np.int64)
+    node_pkts = np.zeros(node_shape, dtype=np.int64)
+    node_inval = np.zeros(node_shape, dtype=np.int64)
+
+    #: per-node set of valid (readable) non-home pages
+    valid: List[set] = [set() for _ in range(n_nodes)]
+    #: per-proc dirty words per page in the current interval
+    dirty: List[Dict[int, int]] = [{} for _ in range(P)]
+    last_lock_owner: Dict[int, int] = {}
+
+    # home assignment: replay first-touch in proc order (the DES assigns
+    # homes at t=0 in spawn order, which this matches for the disjoint
+    # per-proc TOUCH prologues every generator emits)
+    for proc, events in enumerate(trace.events):
+        node = proc // ppn
+        for ev in events:
+            if ev[0] == TOUCH:
+                directory.home(ev[1], node)
+
+    page_bytes = config.comm.page_size
+    hdr = REQUEST_HEADER_BYTES
+
+    def wire(epoch: int, a: int, b: int, nbytes: int, pkts: int) -> None:
+        if a != b:
+            node_wire[epoch, a] += nbytes
+            node_wire[epoch, b] += nbytes
+            node_pkts[epoch, a] += pkts
+            node_pkts[epoch, b] += pkts
+
+    for proc, events in enumerate(trace.events):
+        node = proc // ppn
+        epoch = 0
+        d = dirty[proc]
+        vset = valid[node]
+
+        def flush(epoch: int) -> None:
+            """Close the current interval (HLRC diffs / AURC drain)."""
+            if not d:
+                return
+            mats["flushes"][epoch, proc] += 1
+            if not aurc:
+                pages = len(d)
+                words = sum(d.values())
+                mats["diff_pages"][epoch, proc] += pages
+                mats["diff_words"][epoch, proc] += words
+                # one diff message per page to its home
+                for page, w in d.items():
+                    home = directory.home(page, node)
+                    wire(epoch, node, home, w * word_bytes + hdr, 1)
+            d.clear()
+
+        for ev in events:
+            kind = ev[0]
+            if kind == COMPUTE:
+                mats["work"][epoch, proc] += ev[1]
+                mats["stall"][epoch, proc] += ev[2]
+            elif kind == READ or kind == WRITE:
+                page = ev[1]
+                home = directory.home(page, node)
+                if home != node and page not in vset:
+                    mats["fetches"][epoch, proc] += 1
+                    vset.add(page)
+                    wire(epoch, node, home, hdr + page_bytes + hdr, 2)
+                if kind == WRITE:
+                    words = ev[2]
+                    if words > page_words:
+                        words = page_words
+                    if aurc and home != node:
+                        # hardware ships the write run immediately
+                        runs = ev[3] if len(ev) > 3 else 1
+                        mats["update_pkts"][epoch, proc] += runs
+                        mats["update_words"][epoch, proc] += words
+                        wire(epoch, node, home, words * word_bytes, runs)
+                        cur = d.get(page, 0) + words
+                        d[page] = cur if cur < page_words else page_words
+                    else:
+                        if page not in d and home != node:
+                            mats["twins"][epoch, proc] += 1
+                        cur = d.get(page, 0) + words
+                        d[page] = cur if cur < page_words else page_words
+            elif kind == ACQUIRE:
+                lock = ev[1]
+                owner = last_lock_owner.get(lock)
+                if owner is None:
+                    local = (lock % n_nodes) == node
+                else:
+                    local = (owner // ppn) == node
+                if local:
+                    mats["local_acq"][epoch, proc] += 1
+                else:
+                    mats["remote_acq"][epoch, proc] += 1
+                    holder = lock % n_nodes if owner is None else owner // ppn
+                    wire(epoch, node, holder, hdr + GRANT_BASE_BYTES, 2)
+                last_lock_owner[lock] = proc
+            elif kind == RELEASE:
+                flush(epoch)
+            elif kind == BARRIER:
+                flush(epoch)
+                epoch += 1
+            elif kind == TOUCH:
+                pass
+            else:  # pragma: no cover - generator contract
+                raise ValueError(f"unknown trace event kind {kind!r}")
+        flush(min(epoch, n_epochs - 1))
+
+    # barrier invalidations: write notices shipped with an epoch's
+    # intervals drop mappings at every other node.  HLRC notices are
+    # counted per diffed page; AURC ships notices per flushed interval
+    # (one per dirtied page there too, tracked via its dirty sets) —
+    # approximate each node's share as an even split of the epoch's
+    # remotely-created notices.
+    total_notices = mats["diff_pages"] if not aurc else mats["flushes"]
+    notices_per_epoch = total_notices.sum(axis=1)
+    node_inval[:] = (notices_per_epoch // max(1, n_nodes))[:, None]
+
+    summary = TraceSummary(
+        n_procs=P,
+        n_nodes=n_nodes,
+        work=mats["work"],
+        stall=mats["stall"],
+        fetches=mats["fetches"],
+        twins=mats["twins"],
+        diff_pages=mats["diff_pages"],
+        diff_words=mats["diff_words"],
+        flushes=mats["flushes"],
+        update_pkts=mats["update_pkts"],
+        update_words=mats["update_words"],
+        local_acq=mats["local_acq"],
+        remote_acq=mats["remote_acq"],
+        node_wire_bytes=node_wire,
+        node_pkts=node_pkts,
+        node_invalidations=node_inval,
+    )
+    _SUMMARY_CACHE[key] = summary
+    return summary
+
+
+# --------------------------------------------------------------------- #
+# cost vector
+# --------------------------------------------------------------------- #
+def _delivery_cycles(comm: CommParams) -> float:
+    """Cycles to get an incoming request into a running handler."""
+    if comm.protocol_processing == "interrupt":
+        return float(comm.null_interrupt_cycles)
+    if comm.protocol_processing == "polling-dedicated":
+        return float(comm.poll_latency)
+    return float(comm.assist_overhead)  # ni-offload
+
+
+def _costs(arch: ArchParams, comm: CommParams, free_fetches: bool) -> Dict[str, float]:
+    """LogP-style per-event costs in processor cycles."""
+    io_bpc = comm.io_bytes_per_cycle
+    link_bpc = arch.link_bytes_per_cycle
+    page = comm.page_size
+    mtu = arch.packet_mtu
+    page_pkts = max(1, math.ceil(page / mtu))
+
+    def xfer(nbytes: int, pkts: int) -> float:
+        """One-way message time: post, NI occupancy, wire, delivery."""
+        wire_bytes = nbytes + pkts * arch.packet_header_bytes
+        stages = (wire_bytes / io_bpc, wire_bytes / link_bpc)
+        if arch.model_cut_through:
+            t = max(stages)
+        else:
+            t = sum(stages)
+        return comm.host_overhead + comm.ni_occupancy * pkts + t + arch.link_latency_cycles
+
+    trap = arch.tlb_kernel_cycles + arch.handler_base_cycles
+    rpc_small = (
+        trap
+        + xfer(REQUEST_HEADER_BYTES, 1)
+        + _delivery_cycles(comm)
+        + arch.handler_base_cycles
+        + xfer(ACK_BYTES, 1)
+    )
+    fetch = (
+        trap
+        + xfer(REQUEST_HEADER_BYTES, 1)
+        + _delivery_cycles(comm)
+        + arch.handler_base_cycles
+        + xfer(page, page_pkts)
+        + 2 * (page / arch.membus_bytes_per_cycle)  # copy out + copy in
+    )
+    if free_fetches:
+        fetch = 0.0
+    word = arch.word_bytes
+    page_words = max(1, page // word)
+    return {
+        "fetch": fetch,
+        "twin": float(page_words * arch.twin_copy_cycles_per_word),
+        "diff_page": float(
+            page_words * arch.diff_compare_cycles_per_word
+            + arch.handler_base_cycles
+        ),
+        "diff_word": float(2 * arch.diff_include_cycles_per_word + word / io_bpc),
+        "flush": float(comm.host_overhead + comm.ni_occupancy),
+        "update_pkt": float(comm.ni_occupancy),
+        "update_word": float(word / io_bpc),
+        "local_acq": float(2 * arch.smp_sync_cycles),
+        "remote_acq": float(rpc_small),
+        "barrier": float(
+            2 * arch.smp_sync_cycles + rpc_small + comm.null_interrupt_cycles
+        ),
+        "invalidate": float(arch.page_invalidate_cycles),
+        "io_bpc": io_bpc * comm.nis_per_node,
+        "ni_occ": float(comm.ni_occupancy),
+    }
+
+
+# --------------------------------------------------------------------- #
+# model evaluation
+# --------------------------------------------------------------------- #
+def analytic_run(trace: AppTrace, config: ClusterConfig) -> RunResult:
+    """Price ``trace`` under ``config`` with the closed-form model.
+
+    Returns a :class:`RunResult` shaped like a DES result (speedups,
+    counters and a coarse per-category time breakdown all work), with
+    ``meta["fidelity"] = "analytic"``.  Analytic results are never
+    written to the DES disk cache.
+    """
+    s = trace_summary(trace, config)
+    c = _costs(config.arch, config.comm, config.free_page_fetches)
+
+    busy = s.work + s.stall
+    comm_t = (
+        s.fetches * c["fetch"]
+        + s.twins * c["twin"]
+        + s.diff_pages * c["diff_page"]
+        + s.diff_words * c["diff_word"]
+        + s.flushes * c["flush"]
+        + s.update_pkts * c["update_pkt"]
+        + s.update_words * c["update_word"]
+    )
+    lock_t = s.local_acq * c["local_acq"] + s.remote_acq * c["remote_acq"]
+    t_proc = busy + comm_t + lock_t  # (epochs, P) float64
+
+    # fluid serialization bounds: a node's NI/I/O bus must stream every
+    # wire byte, and its NI core must spend its occupancy per packet —
+    # an epoch cannot end before its busiest server drains
+    node_bw = s.node_wire_bytes / c["io_bpc"] + s.node_pkts * c["ni_occ"]
+    inval_t = s.node_invalidations * c["invalidate"]
+
+    per_epoch = np.maximum(t_proc.max(axis=1), (node_bw + inval_t).max(axis=1))
+    n_barriers = max(0, per_epoch.shape[0] - 1)
+    total = float(per_epoch.sum()) + n_barriers * c["barrier"]
+    total_cycles = int(total)
+
+    # coarse per-proc breakdown (sums over epochs)
+    proc_stats: List[ProcessorStats] = []
+    slack = per_epoch[:, None] - t_proc  # time waiting at each barrier
+    for p in range(s.n_procs):
+        st = ProcessorStats()
+        st.time["compute"] = int(s.work[:, p].sum())
+        st.time["local_stall"] = int(s.stall[:, p].sum())
+        st.time["data_wait"] = int((s.fetches[:, p] * c["fetch"]).sum())
+        st.time["lock_wait"] = int(lock_t[:, p].sum())
+        st.time["barrier_wait"] = int(slack[:, p].sum()) + int(
+            n_barriers * c["barrier"]
+        )
+        st.time["protocol"] = int(
+            (comm_t[:, p] - s.fetches[:, p] * c["fetch"]).sum()
+        )
+        proc_stats.append(st)
+
+    counters = ProtocolCounters(
+        page_faults=int(s.fetches.sum() + s.twins.sum()),
+        page_fetches=int(s.fetches.sum()),
+        local_lock_acquires=int(s.local_acq.sum()),
+        remote_lock_acquires=int(s.remote_acq.sum()),
+        barriers=n_barriers,
+        diffs_created=int(s.diff_pages.sum()),
+        diff_words=int(s.diff_words.sum()),
+        updates_sent=int(s.update_pkts.sum()),
+        update_words=int(s.update_words.sum()),
+        write_notices=int(s.diff_pages.sum()),
+    )
+    meta = {
+        "fidelity": "analytic",
+        "analytic.epochs": float(per_epoch.shape[0]),
+        "network_bytes": float(s.node_wire_bytes.sum() / 2),
+    }
+    return RunResult(
+        app_name=trace.name,
+        problem=trace.problem,
+        config=config,
+        total_cycles=max(1, total_cycles),
+        serial_cycles=trace.serial_cycles,
+        proc_stats=proc_stats,
+        counters=counters,
+        uncontended_busy_max=trace.max_busy_cycles,
+        meta=meta,
+    )

@@ -1,0 +1,105 @@
+"""The vectorized fluid-kernel batch entry points must be cycle-exact
+equivalents of N sequential scalar calls made at the same timestamp —
+same sojourns, same backlog evolution, same occupancy counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import ArchParams
+from repro.arch.membus import MemoryBus
+from repro.sim import FluidQueue, Simulator
+
+
+def make_queue(**kw):
+    return FluidQueue(Simulator(), "q", **kw)
+
+
+services = st.lists(
+    st.one_of(
+        st.integers(0, 500),
+        st.floats(0.0, 500.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+@given(services, st.integers(0, 300))
+@settings(max_examples=80, deadline=None)
+def test_latency_batch_equals_sequential(svc, backlog):
+    seq = make_queue()
+    bat = make_queue()
+    if backlog:
+        assert seq.latency(backlog) == bat.latency(backlog)
+
+    expected = [seq.latency(s) for s in svc]
+    got = bat.latency_batch(svc)
+    assert got.tolist() == expected
+    assert got.dtype == np.int64
+    assert seq._free_at == bat._free_at
+    assert seq.busy_cycles == bat.busy_cycles
+    assert seq.requests == bat.requests
+
+
+def test_latency_batch_integer_dtype_skips_ceil():
+    # integer services take the scalar int fast path (no float ceil);
+    # the batch kernel must match for an int64 input array
+    seq = make_queue()
+    bat = make_queue()
+    svc = np.array([3, 0, 17, 1], dtype=np.int64)
+    expected = [seq.latency(int(s)) for s in svc]
+    assert bat.latency_batch(svc).tolist() == expected
+
+
+def test_latency_batch_rejects_negative():
+    with pytest.raises(ValueError):
+        make_queue().latency_batch([1.0, -0.5])
+
+
+def test_latency_batch_empty():
+    q = make_queue()
+    out = q.latency_batch([])
+    assert out.shape == (0,) and q.requests == 0 and q._free_at == 0
+
+
+@given(st.lists(st.integers(0, 8192), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_transfer_batch_equals_sequential(sizes):
+    seq = make_queue(bytes_per_cycle=2.5)
+    bat = make_queue(bytes_per_cycle=2.5)
+    expected = [seq.transfer(n) for n in sizes]
+    assert bat.transfer_batch(sizes).tolist() == expected
+    assert seq._free_at == bat._free_at
+
+
+@given(
+    st.lists(st.integers(0, 8192), min_size=1, max_size=20),
+    st.sampled_from(["mem", "ni_out", "ni_in", "l2", "wb"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_membus_batch_equals_sequential(sizes, kind):
+    arch = ArchParams()
+    seq_bus = MemoryBus(Simulator(), arch)
+    bat_bus = MemoryBus(Simulator(), arch)
+    expected = [seq_bus.transfer_latency(n, kind) for n in sizes]
+    got = bat_bus.transfer_latency_batch(sizes, kind)
+    assert got.tolist() == expected
+    assert seq_bus.transfer_count == bat_bus.transfer_count
+    assert seq_bus.transfer_bytes == bat_bus.transfer_bytes
+    assert seq_bus.queue._free_at == bat_bus.queue._free_at
+    assert seq_bus.queue.busy_cycles == bat_bus.queue.busy_cycles
+
+
+def test_membus_batch_after_scalar_backlog():
+    # a batch issued while the bus is still draining earlier transfers
+    # must see the same residual backlog the scalar path would
+    arch = ArchParams()
+    seq_bus = MemoryBus(Simulator(), arch)
+    bat_bus = MemoryBus(Simulator(), arch)
+    for bus in (seq_bus, bat_bus):
+        bus.transfer_latency(4096, "mem")
+    sizes = [64, 4096, 128]
+    expected = [seq_bus.transfer_latency(n, "ni_out") for n in sizes]
+    assert bat_bus.transfer_latency_batch(sizes, "ni_out").tolist() == expected

@@ -139,11 +139,30 @@ def test_yield_non_waitable_crashes():
     sim = Simulator()
 
     def bad():
-        yield 123
+        yield "not a waitable"
 
     sim.spawn(bad())
     with pytest.raises(ProcessCrash):
         sim.run()
+
+
+def test_yield_int_is_timeout_shorthand():
+    # a bare non-negative int yield suspends for that many cycles,
+    # exactly like yielding sim.timeout(n)
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield 7
+        log.append(sim.now)
+        yield 0
+        log.append(sim.now)
+        yield sim.timeout(3)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert log == [7, 7, 10]
 
 
 def test_interrupt_with_throws_into_process():
