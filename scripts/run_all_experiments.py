@@ -21,10 +21,20 @@ print the one-line resume command; a SIGKILL costs at most the points in
 flight.  ``--resume`` skips drivers that already completed and replays
 the interrupted driver's finished points from the run cache, producing
 output bit-identical to an uninterrupted run.
+
+``--fabric`` turns one regeneration into a *cooperative* one: each
+driver is claimed through a lease in the distributed sweep fabric
+(``results/.fabric/run-all-s<scale>/``; see :mod:`repro.core.fabric`),
+so several copies of this script launched against the same ``--out``
+directory split the driver list between them instead of duplicating
+work.  A copy that crashes loses its leases (holder-liveness check) and
+one that stalls loses them after ``--fabric-ttl`` seconds; survivors
+steal the abandoned drivers and the regeneration still completes.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -106,6 +116,8 @@ def run_all(
     jobs=None,
     quiet: bool = False,
     resume: bool = False,
+    fabric: bool = False,
+    fabric_ttl: float = 900.0,
 ):
     """Run every driver; returns ``{driver_name: seconds}`` wall-clock timings.
 
@@ -113,7 +125,9 @@ def run_all(
     so every driver's grid fans out without per-driver plumbing.  Each
     driver runs under a sweep checkpoint (see the module docstring);
     ``resume=True`` skips drivers whose completion is journaled and whose
-    output files are still present.
+    output files are still present.  ``fabric=True`` claims each driver
+    through a fabric lease first, letting concurrent copies of this
+    script shard the driver list (see the module docstring).
     """
     if jobs is not None:
         set_default_jobs(jobs)
@@ -121,27 +135,24 @@ def run_all(
     hint = resume_hint(scale, out_dir, jobs)
     parent_name = f"run-all-s{scale:g}"
     parent = SweepCheckpoint(parent_name).open(meta={"resume_cmd": hint})
-    done_drivers = parent.completed_keys() if resume else set()
-    combined = []
+    store = worker_id = None
+    if fabric:
+        from repro.core.fabric import LeaseStore
+
+        store = LeaseStore(parent_name)
+        worker_id = f"runall-{os.getpid()}"
+    combined = {}
     timings = {}
     t_start = time.time()
-    for name, driver in DRIVERS:
-        txt_path = out_dir / f"{name}.txt"
-        json_path = out_dir / f"{name}.json"
-        if (
-            f"driver:{name}" in done_drivers
+
+    def _already_done(name, txt_path, json_path):
+        return (
+            f"driver:{name}" in parent.completed_keys()
             and txt_path.is_file()
             and json_path.is_file()
-        ):
-            timings[name] = 0.0
-            combined.append(txt_path.read_text().rstrip("\n"))
-            if not quiet:
-                print(
-                    f"[{time.time() - t_start:7.1f}s] {name:<22} "
-                    "already complete (resumed)",
-                    flush=True,
-                )
-            continue
+        )
+
+    def _run_one(name, driver, txt_path, json_path):
         t0 = time.time()
         # Point-level journal for this driver: a kill mid-driver resumes
         # from the last completed simulation point, not the last driver.
@@ -156,14 +167,58 @@ def run_all(
         text = out.table_str()
         txt_path.write_text(text + "\n")
         json_path.write_text(json.dumps(out.data, indent=2, default=str) + "\n")
-        combined.append(text)
+        combined[name] = text
         parent.record(f"driver:{name}", "done")
         if not quiet:
             print(
                 f"[{time.time() - t_start:7.1f}s] {name:<22} done in {dt:6.1f}s",
                 flush=True,
             )
-    (out_dir / "ALL.txt").write_text("\n\n\n".join(combined) + "\n")
+
+    pending = dict(DRIVERS)
+    while pending:
+        progressed = False
+        parent.refresh()
+        for name, driver in list(pending.items()):
+            txt_path = out_dir / f"{name}.txt"
+            json_path = out_dir / f"{name}.json"
+            if (resume or fabric) and _already_done(name, txt_path, json_path):
+                # Finished by a previous run (--resume) or by a peer
+                # fabric process; fold its output in without recomputing.
+                del pending[name]
+                timings.setdefault(name, 0.0)
+                combined[name] = txt_path.read_text().rstrip("\n")
+                if not quiet:
+                    print(
+                        f"[{time.time() - t_start:7.1f}s] {name:<22} "
+                        "already complete (resumed)",
+                        flush=True,
+                    )
+                continue
+            if store is not None:
+                lease = store.claim(f"driver-{name}", worker_id, ttl_s=fabric_ttl)
+                if lease is None:
+                    continue  # a live peer holds it; revisit next pass
+                try:
+                    _run_one(name, driver, txt_path, json_path)
+                finally:
+                    status = "done" if name in combined else "failed"
+                    store.release(lease, status)
+            else:
+                _run_one(name, driver, txt_path, json_path)
+            del pending[name]
+            progressed = True
+        if pending and not progressed:
+            if store is None:
+                raise RuntimeError(
+                    f"drivers did not converge: {sorted(pending)}"
+                )  # pragma: no cover - defensive; serial mode never loops
+            # Every remaining driver is leased by a live peer: wait for
+            # them to finish (journal) or die/stall (lease reclaimable).
+            time.sleep(2.0)
+    (out_dir / "ALL.txt").write_text(
+        "\n\n\n".join(combined[name] for name, _ in DRIVERS) + "\n"
+    )
     parent.finalize("complete")
     return timings
 
@@ -193,6 +248,20 @@ def parse_args(argv=None) -> argparse.Namespace:
         "regeneration at this scale; finished points replay from the run cache",
     )
     parser.add_argument(
+        "--fabric",
+        action="store_true",
+        help="claim each driver through a fabric lease "
+        "(results/.fabric/run-all-s<scale>/) so concurrent copies of this "
+        "script pointed at the same --out split the driver list; crashed or "
+        "stalled copies lose their leases and survivors steal the work",
+    )
+    parser.add_argument(
+        "--fabric-ttl",
+        type=float,
+        default=900.0,
+        help="driver lease TTL in seconds for --fabric (default: 900)",
+    )
+    parser.add_argument(
         "--fidelity",
         choices=("des", "analytic", "auto"),
         default=None,
@@ -220,7 +289,14 @@ def main(argv=None) -> None:
         set_default_fidelity(args.fidelity)
     t0 = time.time()
     try:
-        run_all(args.scale, args.out, jobs=jobs, resume=args.resume)
+        run_all(
+            args.scale,
+            args.out,
+            jobs=jobs,
+            resume=args.resume,
+            fabric=args.fabric,
+            fabric_ttl=args.fabric_ttl,
+        )
     except SweepInterrupted as exc:
         print(
             f"\ninterrupted — completed points are journaled; "

@@ -21,6 +21,13 @@ Commands
 ``cache {stats,verify,clear}``
     Inspect, integrity-audit, or purge the persistent run cache
     (``results/.runcache/``).
+``fabric {start,worker,status}``
+    Distributed sweeps (:mod:`repro.core.fabric`): ``start`` shards a
+    grid into leases under ``results/.fabric/<sweep>/`` and spawns
+    workers, ``worker`` joins an existing sweep's claim loop, and
+    ``status`` reports lease/worker/steal/rejection progress.  Workers
+    are crash-safe: fencing tokens keep a killed-or-paused worker from
+    ever clobbering a successor's results.
 
 ``sweep`` and ``experiment`` accept ``--jobs N`` to fan independent
 simulation points across a process pool (0 = all cores) and
@@ -487,6 +494,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
     from repro.core.executor import set_resume_annotation
 
     if not args.sweep:
+        from repro.core.fabric import LeaseStore, sweep_status
+
         sweeps = list_checkpoints()
         if not sweeps:
             print("no checkpointed sweeps found")
@@ -494,9 +503,27 @@ def cmd_resume(args: argparse.Namespace) -> int:
         rows = []
         for cp in sweeps:
             prog = cp.progress()
-            rows.append([cp.name, prog["done"], prog["failed"], prog["status"]])
-        print(format_table(["sweep", "done", "failed", "status"], rows,
-                           title="Checkpointed sweeps"))
+            # Fabric-managed sweeps get lease/owner columns; points whose
+            # lease expired without an outcome are *orphaned* (reclaimable
+            # work), not failed (work that ran and broke).
+            leased = orphaned = "-"
+            owners = "-"
+            try:
+                store = LeaseStore(cp.name)
+            except ValueError:
+                store = None
+            if store is not None and store.exists:
+                st = sweep_status(store)
+                leased = st["leased"]
+                orphaned = st["orphaned"]
+                owners = ",".join(st["owners"]) or "-"
+            rows.append(
+                [cp.name, prog["done"], prog["failed"], leased, orphaned,
+                 owners, prog["status"]]
+            )
+        print(format_table(
+            ["sweep", "done", "failed", "leased", "orphaned", "owners", "status"],
+            rows, title="Checkpointed sweeps"))
         print("\nresume one with: python -m repro resume <sweep>")
         return 0
 
@@ -577,6 +604,113 @@ def cmd_cache(args: argparse.Namespace) -> int:
     clear_caches()
     print(f"removed {removed} cached run(s) from {cache.root}")
     return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    """Distributed sweeps: lease store + fenced workers (repro.core.fabric)."""
+    from repro.core.executor import Point, PointFailure
+    from repro.core.fabric import (
+        FabricCoordinator,
+        FabricWorker,
+        LeaseStore,
+        list_fabric_sweeps,
+        sweep_status,
+    )
+
+    if args.action == "worker":
+        try:
+            worker = FabricWorker(args.sweep, worker_id=args.id, ttl_s=args.ttl)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not worker.store.exists:
+            print(
+                f"error: no fabric sweep {args.sweep!r} "
+                f"(expected a grid at {worker.store.grid_path}); "
+                "start one with `repro fabric start`",
+                file=sys.stderr,
+            )
+            return 2
+        stats = worker.run()
+        print(
+            f"worker {worker.worker_id}: {stats['computed']} computed, "
+            f"{stats['failed']} failed, {stats['stolen']} stolen, "
+            f"{stats['fenced']} fenced mid-run, "
+            f"{stats['rejected']} stale write(s) rejected"
+        )
+        return 0
+
+    if args.action == "status":
+        stores = (
+            [LeaseStore(args.sweep)] if args.sweep else list_fabric_sweeps()
+        )
+        stores = [s for s in stores if s.exists]
+        if not stores:
+            print("no fabric sweeps found")
+            return 0
+        rows = []
+        for store in stores:
+            st = sweep_status(store)
+            rows.append([
+                st["sweep"], st["total"], st["done"], st["failed"],
+                st["leased"], st["orphaned"], st["unclaimed"],
+                f"{st['workers_alive']}/{st['workers_seen']}",
+                st["steals"], st["rejections"],
+            ])
+        print(format_table(
+            ["sweep", "total", "done", "failed", "leased", "orphaned",
+             "unclaimed", "workers", "steals", "rejected"],
+            rows, title="Fabric sweeps"))
+        if args.sweep:
+            leases = stores[0].leases()
+            if leases:
+                import time as _time
+
+                now = _time.time()
+                lease_rows = [
+                    [lease.key[:12], lease.worker, lease.token, lease.status,
+                     "expired" if (lease.status == "held"
+                                   and lease.reclaimable(now))
+                     else f"{max(0.0, lease.expires_unix - now):.0f}s"]
+                    for lease in leases
+                ]
+                print()
+                print(format_table(
+                    ["point", "owner", "token", "status", "ttl"],
+                    lease_rows, title="Leases"))
+        return 0
+
+    # start
+    bad = [a for a in args.apps if _check_app(a)]
+    if bad:
+        print(f"error: {_check_app(bad[0])}", file=sys.stderr)
+        return 2
+    config = _config_from(args)
+    points = [Point(app, args.scale, config) for app in args.apps]
+    name = args.name or f"fabric-{'-'.join(args.apps)}-s{args.scale:g}"
+    try:
+        coordinator = FabricCoordinator(
+            name, points, n_workers=args.workers, ttl_s=args.ttl
+        )
+        summary = coordinator.run()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = []
+    for point, result in zip(points, summary["results"]):
+        if isinstance(result, PointFailure):
+            rows.append([point.app, "FAILED", result.error.splitlines()[0][:50]])
+        else:
+            rows.append([point.app, f"{result.speedup:.2f}", ""])
+    print(format_table(["app", "speedup", "error"], rows,
+                       title=f"fabric sweep '{name}' (scale {args.scale:g})"))
+    st = sweep_status(coordinator.store)
+    print(
+        f"\n{st['done']}/{st['total']} done, {st['failed']} failed; "
+        f"{st['steals']} lease steal(s), {st['rejections']} stale write(s) "
+        f"rejected; workers seen: {st['workers_seen']}"
+    )
+    return 1 if summary["failures"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -671,6 +805,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache.add_argument("action", choices=("stats", "verify", "clear"))
 
+    p_fab = sub.add_parser(
+        "fabric",
+        help="distributed sweeps: leased work queue with fencing tokens",
+    )
+    fab_sub = p_fab.add_subparsers(dest="action", required=True)
+
+    p_fab_start = fab_sub.add_parser(
+        "start",
+        help="shard a grid into leases, spawn workers, run to completion",
+    )
+    p_fab_start.add_argument("apps", nargs="+", help="applications to sweep")
+    p_fab_start.add_argument(
+        "--name", default=None,
+        help="fabric sweep name (default: derived from apps and scale)",
+    )
+    p_fab_start.add_argument(
+        "--workers", type=int, default=2,
+        help="worker subprocesses to spawn (the coordinator also works inline, "
+        "so 0 degrades to a serial sweep)",
+    )
+    p_fab_start.add_argument(
+        "--ttl", type=float, default=30.0,
+        help="lease TTL in seconds before an unrenewed point is stolen",
+    )
+    _add_comm_options(p_fab_start)
+    _add_fault_options(p_fab_start)
+
+    p_fab_worker = fab_sub.add_parser(
+        "worker", help="join an existing fabric sweep's claim loop"
+    )
+    p_fab_worker.add_argument("sweep", help="sweep name under results/.fabric/")
+    p_fab_worker.add_argument("--ttl", type=float, default=30.0,
+                              help="lease TTL in seconds")
+    p_fab_worker.add_argument("--id", default=None,
+                              help="worker id (default: derived from the PID)")
+
+    p_fab_status = fab_sub.add_parser(
+        "status", help="lease/worker progress for fabric sweeps"
+    )
+    p_fab_status.add_argument("sweep", nargs="?", default=None)
+
     return parser
 
 
@@ -684,6 +859,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "experiment": cmd_experiment,
         "resume": cmd_resume,
         "cache": cmd_cache,
+        "fabric": cmd_fabric,
     }
     return handlers[args.command](args)
 

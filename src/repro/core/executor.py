@@ -498,6 +498,7 @@ def run_points(
     deadline_s: Optional[float] = None,
     rss_mb: Optional[float] = None,
     fidelity: Optional[str] = None,
+    journal_extra: Optional[Dict[str, object]] = None,
 ) -> List[Union[RunResult, PointFailure]]:
     """Run (or fetch) every point, in parallel, preserving input order.
 
@@ -523,6 +524,10 @@ def run_points(
     point; ``"analytic"`` serves the closed-form fast model;
     ``"auto"`` runs a DES calibration subset and serves the rest from
     the calibrated fast model with recorded error bounds.
+
+    ``journal_extra`` fields are merged into every journal record this
+    call writes — the sweep fabric tags outcomes with the worker id that
+    produced them (fencing tokens are added by the journal write guard).
     """
     from repro.core import runcache, sweeps
 
@@ -556,11 +561,13 @@ def run_points(
         keys = {p: runcache.content_key(p.app, p.scale, p.config) for p in unique}
         journal_done = cp.completed_keys()
 
+    tags: Dict[str, object] = dict(journal_extra or {})
+
     def _journal(p: Point, outcome: Union[RunResult, PointFailure]) -> None:
         if cp is None:
             return
         if isinstance(outcome, RunResult):
-            cp.record(keys[p], "done", app=p.app, scale=p.scale)
+            cp.record(keys[p], "done", app=p.app, scale=p.scale, **tags)
         else:
             cp.record(
                 keys[p],
@@ -569,6 +576,7 @@ def run_points(
                 scale=p.scale,
                 kind=outcome.kind,
                 error=outcome.error,
+                **tags,
             )
 
     # Satisfy what we can from the layered caches (memory, then disk).

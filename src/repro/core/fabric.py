@@ -1,0 +1,908 @@
+"""Fault-tolerant distributed sweep fabric: leases, fencing, work stealing.
+
+One host saturates quickly (BENCH_sweep.json: 0.98x parallel speedup on
+a 1-CPU box); a full-scale grid regeneration wants a *fleet* of worker
+processes — possibly crash-prone, possibly paused by the OS — sharing
+the one checkpoint journal and run cache that :mod:`repro.core.
+checkpoint` and :mod:`repro.core.runcache` already made durable for a
+single process.  This module adds the missing coordination layer:
+
+Lease store (``results/.fabric/<sweep>/``)
+    A coordinator shards the sweep grid into *leases*, one per point
+    (keyed by the run-cache content hash).  Workers claim a lease by
+    writing a lease file under the store's fence lock (atomic temp file
+    + ``os.replace``, so a SIGKILL mid-claim can never leave a torn
+    lease).  Every grant mints a **fencing token** from a monotonic
+    counter; tokens only ever grow.
+
+Leases expire; work is stolen
+    A claim carries a bounded TTL, renewed by a heartbeat thread while
+    the worker computes.  A worker that dies (detected by ``(pid, start
+    time)`` liveness — PID reuse cannot fake a live holder) or stalls
+    past its TTL (SIGSTOP, GC pause, clock-skewed renewals) loses the
+    lease: any other worker reclaims it with a *higher* token, backing
+    off exponentially with decorrelated jitter while the grid is
+    contended.
+
+Stale tokens are fenced at the write path
+    The journal (:meth:`~repro.core.checkpoint.SweepCheckpoint.record`)
+    and the run cache (:meth:`~repro.core.runcache.DiskCache.put`)
+    consult a :class:`WriteFence` before every write.  A resurrected
+    worker — SIGKILLed and restarted, or SIGCONTed after its TTL —
+    still holds its *old* token; the fence compares it with the lease
+    file's *current* token and rejects the write
+    (:class:`StaleFencingTokenError`), logging it to
+    ``rejections.jsonl``.  A successor's results can never be clobbered
+    by a predecessor's ghost.
+
+Graceful degradation
+    The coordinator participates in its own sweep: after spawning
+    workers it runs an inline worker loop, so if every worker vanishes
+    the tail of the grid is finished serially instead of hanging.
+
+Results themselves stay where they always were — the run cache — and
+each point is deterministic, so a fabric run's merged output is
+byte-identical to a serial run no matter how many workers were killed,
+paused, or fenced along the way (``tests/core/test_fabric_chaos.py``
+proves it).  The store is deliberately a plain directory of JSON files:
+a future multi-machine transport only has to swap :class:`LeaseStore`
+for one backed by a shared filesystem or a small service.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import pathlib
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core import runcache
+from repro.core.checkpoint import (
+    SweepCheckpoint,
+    set_journal_write_guard,
+    validate_sweep_name,
+)
+from repro.core.executor import Point, PointFailure, run_points
+from repro.core.fslock import file_lock, is_process_alive, process_identity
+
+logger = logging.getLogger("repro.fabric")
+
+DEFAULT_FABRIC_DIR = os.path.join("results", ".fabric")
+
+#: default lease TTL (seconds) — long enough for one slow point plus
+#: renewal slack, short enough that a stalled worker's points are
+#: reclaimed promptly
+DEFAULT_TTL_S = 30.0
+
+
+class StaleFencingTokenError(RuntimeError):
+    """A write carried a fencing token that has been superseded.
+
+    Raised by the :class:`WriteFence` *instead of* performing the write:
+    the journal append / cache put never happens.  The worker holding
+    the stale lease treats this as "my work on this point is void" and
+    moves on — the successor that minted the higher token owns the
+    point now.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        held_token: Optional[int],
+        current_token: Optional[int],
+        worker: str,
+    ) -> None:
+        self.key = key
+        self.held_token = held_token
+        self.current_token = current_token
+        self.worker = worker
+        super().__init__(
+            f"stale fencing token for point {key[:12]}…: worker {worker!r} "
+            f"holds token {held_token}, lease is now at token {current_token} "
+            "— the lease expired and was reclaimed; this write is rejected"
+        )
+
+
+def fabric_root(root: Optional[os.PathLike] = None) -> pathlib.Path:
+    """Resolve the fabric root (arg > ``REPRO_FABRIC_DIR`` > default)."""
+    if root is not None:
+        return pathlib.Path(root)
+    return pathlib.Path(os.environ.get("REPRO_FABRIC_DIR", DEFAULT_FABRIC_DIR))
+
+
+@dataclass
+class Lease:
+    """One point's current grant: who may write it, under which token."""
+
+    key: str
+    token: int
+    worker: str
+    pid: int
+    pid_start: Optional[int]
+    granted_unix: float
+    ttl_s: float
+    expires_unix: float
+    #: ``"held"`` while a worker owns it, then ``"done"``/``"failed"``
+    status: str = "held"
+    #: token of the lease this grant superseded (``None`` = fresh claim)
+    prev_token: Optional[int] = None
+
+    @property
+    def stolen(self) -> bool:
+        return self.prev_token is not None
+
+    def holder_alive(self) -> bool:
+        return is_process_alive(self.pid, self.pid_start)
+
+    def reclaimable(self, now: Optional[float] = None) -> bool:
+        """Whether another worker may take this lease over.
+
+        Terminal leases are never reclaimed (the journal already records
+        the outcome).  A held lease is up for grabs once its TTL passed
+        *or* its holder process is gone — ``(pid, start time)`` liveness
+        means a recycled PID cannot impersonate the holder.
+        """
+        if self.status != "held":
+            return False
+        now = time.time() if now is None else now
+        return now >= self.expires_unix or not self.holder_alive()
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "Lease":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in fields})  # type: ignore[arg-type]
+
+
+class LeaseStore:
+    """Filesystem-backed lease/heartbeat store for one fabric sweep.
+
+    All mutations happen under one fence lock (``flock`` via
+    :mod:`repro.core.fslock`) and write files atomically, so claims are
+    serialized (no double-claim) and a kill at any instant leaves whole
+    files.  The fence lock itself dies with its holder — the store can
+    never wedge.
+    """
+
+    def __init__(self, sweep: str, root: Optional[os.PathLike] = None) -> None:
+        self.sweep = validate_sweep_name(sweep)
+        self.root = fabric_root(root)
+        self.dir = self.root / pathlib.PurePosixPath(sweep)
+        self.grid_path = self.dir / "grid.json"
+        self.leases_dir = self.dir / "leases"
+        self.workers_dir = self.dir / "workers"
+        self.claims_path = self.dir / "claims.jsonl"
+        self.rejections_path = self.dir / "rejections.jsonl"
+        self.fence_path = self.dir / "fence.json"
+        self._lock_path = self.dir / ".fence.lock"
+
+    # ------------------------------------------------------------------ #
+    # grid
+    # ------------------------------------------------------------------ #
+    @property
+    def exists(self) -> bool:
+        return self.grid_path.is_file()
+
+    def init_grid(
+        self, points: Sequence[Point], meta: Optional[dict] = None
+    ) -> List[str]:
+        """Shard ``points`` into the store; returns their content keys.
+
+        Idempotent for a crashed-and-restarted coordinator: re-initing
+        with the identical grid is a no-op, a *different* grid under the
+        same sweep name is refused.
+        """
+        keyed = self._keyed(points)
+        keys = [k for k, _ in keyed]
+        if self.exists:
+            existing = [k for k, _ in self.load_grid()]
+            if existing != keys:
+                raise ValueError(
+                    f"fabric sweep {self.sweep!r} already holds a different "
+                    f"grid ({len(existing)} point(s) vs {len(keys)} requested); "
+                    "pick a new sweep name or delete the old one"
+                )
+            return keys
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        record = {
+            "sweep": self.sweep,
+            "model_version": runcache.MODEL_VERSION,
+            "created_unix": time.time(),
+            "meta": meta or {},
+            "points": [
+                {
+                    "key": key,
+                    "app": p.app,
+                    "scale": p.scale,
+                    "config": dataclasses.asdict(p.config),
+                }
+                for key, p in keyed
+            ],
+        }
+        self._atomic_write(
+            self.grid_path, (json.dumps(record, indent=1, sort_keys=True) + "\n")
+        )
+        return keys
+
+    def load_grid(self) -> List[Tuple[str, Point]]:
+        """The sweep's full point list, in grid order, with content keys."""
+        from repro.verify.artifacts import config_from_dict
+
+        try:
+            record = json.loads(self.grid_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ValueError(
+                f"fabric sweep {self.sweep!r} has no readable grid "
+                f"({self.grid_path}): {exc}"
+            ) from exc
+        out: List[Tuple[str, Point]] = []
+        for entry in record.get("points", []):
+            point = Point(
+                str(entry["app"]),
+                float(entry["scale"]),
+                config_from_dict(entry["config"]),
+            )
+            out.append((str(entry["key"]), point))
+        return out
+
+    @staticmethod
+    def _keyed(points: Sequence[Point]) -> List[Tuple[str, Point]]:
+        keyed: List[Tuple[str, Point]] = []
+        seen: Set[str] = set()
+        for p in points:
+            p = Point(*p)
+            key = runcache.content_key(p.app, p.scale, p.config)
+            if key not in seen:  # duplicates collapse to one lease
+                seen.add(key)
+                keyed.append((key, p))
+        return keyed
+
+    # ------------------------------------------------------------------ #
+    # leases + fencing tokens
+    # ------------------------------------------------------------------ #
+    def _lease_path(self, key: str) -> pathlib.Path:
+        return self.leases_dir / f"{key}.json"
+
+    def read_lease(self, key: str) -> Optional[Lease]:
+        try:
+            raw = json.loads(self._lease_path(key).read_text())
+            return Lease.from_dict(raw)
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def current_token(self, key: str) -> Optional[int]:
+        lease = self.read_lease(key)
+        return lease.token if lease is not None else None
+
+    def _mint_token_locked(self) -> int:
+        """Next fencing token (monotonic).  Caller holds the fence lock."""
+        try:
+            state = json.loads(self.fence_path.read_text())
+            next_token = int(state["next_token"])
+        except (OSError, ValueError, KeyError, TypeError):
+            next_token = 1
+        self._atomic_write(
+            self.fence_path, json.dumps({"next_token": next_token + 1}) + "\n"
+        )
+        return next_token
+
+    def claim(self, key: str, worker: str, ttl_s: float) -> Optional[Lease]:
+        """Try to take the lease on ``key`` for ``worker``.
+
+        Succeeds when the point is unclaimed or its current lease is
+        reclaimable (expired / holder dead); returns ``None`` while a
+        live lease stands.  Claims serialize under the fence lock, so
+        two stealers racing for one expired lease produce exactly one
+        grant — the loser sees the winner's fresh lease and backs off.
+        """
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        with file_lock(self._lock_path):
+            now = time.time()
+            current = self.read_lease(key)
+            if current is not None and not current.reclaimable(now):
+                return None
+            pid, pid_start = process_identity()
+            lease = Lease(
+                key=key,
+                token=self._mint_token_locked(),
+                worker=worker,
+                pid=pid,
+                pid_start=pid_start,
+                granted_unix=now,
+                ttl_s=float(ttl_s),
+                expires_unix=now + float(ttl_s),
+                prev_token=current.token if current is not None else None,
+            )
+            self._atomic_write(
+                self._lease_path(key), json.dumps(lease.to_dict()) + "\n"
+            )
+            self._append_locked(
+                self.claims_path,
+                {
+                    "key": key,
+                    "token": lease.token,
+                    "worker": worker,
+                    "reason": "steal" if lease.stolen else "grant",
+                    "prev_token": lease.prev_token,
+                    "prev_worker": current.worker if current is not None else None,
+                    "unix": now,
+                },
+            )
+        if lease.stolen:
+            logger.info(
+                "worker %s stole lease on %s… (token %s supersedes %s)",
+                worker,
+                key[:12],
+                lease.token,
+                lease.prev_token,
+            )
+        return lease
+
+    def renew(self, lease: Lease) -> Lease:
+        """Extend a held lease's TTL; raises if it has been superseded."""
+        with file_lock(self._lock_path):
+            current = self.read_lease(lease.key)
+            if (
+                current is None
+                or current.token != lease.token
+                or current.worker != lease.worker
+            ):
+                raise StaleFencingTokenError(
+                    lease.key,
+                    lease.token,
+                    current.token if current is not None else None,
+                    lease.worker,
+                )
+            renewed = dataclasses.replace(
+                lease, expires_unix=time.time() + lease.ttl_s
+            )
+            self._atomic_write(
+                self._lease_path(lease.key), json.dumps(renewed.to_dict()) + "\n"
+            )
+            return renewed
+
+    def release(self, lease: Lease, status: str) -> bool:
+        """Mark a held lease terminal (``done``/``failed``).
+
+        Returns ``False`` (no-op) when the lease was superseded while we
+        computed — the successor owns the point's outcome now.
+        """
+        with file_lock(self._lock_path):
+            current = self.read_lease(lease.key)
+            if current is None or current.token != lease.token:
+                return False
+            final = dataclasses.replace(
+                lease, status=status, expires_unix=time.time()
+            )
+            self._atomic_write(
+                self._lease_path(lease.key), json.dumps(final.to_dict()) + "\n"
+            )
+            return True
+
+    def leases(self) -> List[Lease]:
+        if not self.leases_dir.is_dir():
+            return []
+        out = []
+        for path in sorted(self.leases_dir.glob("*.json")):
+            lease = self.read_lease(path.stem)
+            if lease is not None:
+                out.append(lease)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # rejections + claims logs
+    # ------------------------------------------------------------------ #
+    def record_rejection(
+        self,
+        key: str,
+        held_token: Optional[int],
+        current_token: Optional[int],
+        worker: str,
+    ) -> None:
+        with file_lock(self._lock_path):
+            self._append_locked(
+                self.rejections_path,
+                {
+                    "key": key,
+                    "held_token": held_token,
+                    "current_token": current_token,
+                    "worker": worker,
+                    "unix": time.time(),
+                },
+            )
+
+    def rejections(self) -> List[dict]:
+        return self._read_jsonl(self.rejections_path)
+
+    def claims(self) -> List[dict]:
+        return self._read_jsonl(self.claims_path)
+
+    # ------------------------------------------------------------------ #
+    # worker heartbeats
+    # ------------------------------------------------------------------ #
+    def heartbeat(self, worker: str, **info: object) -> None:
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        pid, pid_start = process_identity()
+        record = {
+            "worker": worker,
+            "pid": pid,
+            "pid_start": pid_start,
+            "beat_unix": time.time(),
+        }
+        record.update(info)
+        self._atomic_write(
+            self.workers_dir / f"{worker}.json", json.dumps(record) + "\n"
+        )
+
+    def workers(self) -> List[dict]:
+        if not self.workers_dir.is_dir():
+            return []
+        out = []
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict):
+                pid = record.get("pid")
+                start = record.get("pid_start")
+                record["alive"] = isinstance(pid, int) and is_process_alive(
+                    pid, start if isinstance(start, int) else None
+                )
+                out.append(record)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def delete(self) -> None:
+        import shutil
+
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def _append_locked(self, path: pathlib.Path, record: dict) -> None:
+        """Append one JSONL record (caller holds the fence lock)."""
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            existing = path.read_bytes()
+        except OSError:
+            existing = b""
+        self._atomic_write(path, existing + line)
+
+    @staticmethod
+    def _read_jsonl(path: pathlib.Path) -> List[dict]:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return []
+        out = []
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(rec, dict):
+                out.append(rec)
+        return out
+
+    @staticmethod
+    def _atomic_write(path: pathlib.Path, data: Union[str, bytes]) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# --------------------------------------------------------------------- #
+# write fencing
+# --------------------------------------------------------------------- #
+class WriteFence:
+    """Validates this process's writes against the lease store.
+
+    Installed process-wide via :func:`install_fence`; consulted by the
+    checkpoint journal and the run cache before every write.  Keys
+    outside the sweep's grid pass through untouched (a fabric worker can
+    still warm unrelated caches); managed keys must be covered by a
+    lease this worker holds *whose token is still current on disk*.
+    """
+
+    def __init__(self, store: LeaseStore, worker: str, managed: Set[str]) -> None:
+        self.store = store
+        self.worker = worker
+        self.managed = set(managed)
+        self.held: Dict[str, Lease] = {}
+        #: stale writes this fence rejected (also journaled durably in
+        #: ``rejections.jsonl`` by the store)
+        self.rejected = 0
+
+    def track(self, lease: Lease) -> None:
+        self.held[lease.key] = lease
+
+    def untrack(self, key: str) -> None:
+        self.held.pop(key, None)
+
+    def check(self, key: str) -> Optional[Dict[str, object]]:
+        """Gate one write to ``key``; returns provenance tags when valid.
+
+        Raises :class:`StaleFencingTokenError` — after durably counting
+        the rejection — when this worker holds no current lease on a
+        managed key.
+        """
+        if key not in self.managed:
+            return None
+        lease = self.held.get(key)
+        current = self.store.read_lease(key)
+        if (
+            lease is None
+            or current is None
+            or current.token != lease.token
+            or current.worker != lease.worker
+        ):
+            self.rejected += 1
+            held_token = lease.token if lease is not None else None
+            current_token = current.token if current is not None else None
+            self.store.record_rejection(key, held_token, current_token, self.worker)
+            raise StaleFencingTokenError(key, held_token, current_token, self.worker)
+        return {"token": lease.token, "worker": self.worker}
+
+
+def install_fence(fence: WriteFence) -> None:
+    """Gate the checkpoint journal and run cache behind ``fence``."""
+    set_journal_write_guard(lambda sweep, key: fence.check(key))
+    runcache.set_write_guard(fence.check)
+
+
+def uninstall_fence() -> None:
+    set_journal_write_guard(None)
+    runcache.set_write_guard(None)
+
+
+class _LeaseRenewer(threading.Thread):
+    """Heartbeat thread: renews held leases + the worker's liveness file.
+
+    A SIGSTOP freezes this thread together with the computation, so the
+    lease genuinely expires — exactly the failure the fencing tokens
+    exist for.
+    """
+
+    def __init__(
+        self, store: LeaseStore, fence: WriteFence, worker: str, interval_s: float
+    ) -> None:
+        super().__init__(name=f"fabric-renew-{worker}", daemon=True)
+        self.store = store
+        self.fence = fence
+        self.worker = worker
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via chaos tests
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.store.heartbeat(self.worker)
+                for key, lease in list(self.fence.held.items()):
+                    if key in self.fence.held:
+                        try:
+                            self.fence.held[key] = self.store.renew(lease)
+                        except StaleFencingTokenError:
+                            # Superseded mid-compute: leave the stale lease
+                            # tracked — the write fence will reject (and
+                            # count) the eventual write attempt.
+                            pass
+            except OSError:
+                pass  # transient FS trouble; retry next beat
+
+
+# --------------------------------------------------------------------- #
+# worker
+# --------------------------------------------------------------------- #
+class FabricWorker:
+    """Claim-compute-journal loop over one fabric sweep's lease store."""
+
+    def __init__(
+        self,
+        sweep: str,
+        worker_id: Optional[str] = None,
+        ttl_s: float = DEFAULT_TTL_S,
+        root: Optional[os.PathLike] = None,
+        checkpoint_root: Optional[os.PathLike] = None,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+    ) -> None:
+        self.store = LeaseStore(sweep, root=root)
+        self.sweep = self.store.sweep
+        self.worker_id = worker_id or f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.ttl_s = float(ttl_s)
+        self.checkpoint_root = checkpoint_root
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        # Decorrelated reclaim jitter, seeded per worker id so no two
+        # workers back off in lock-step (and tests stay reproducible).
+        self._rng = random.Random(self.worker_id)
+
+    def run(self) -> Dict[str, int]:
+        """Work the grid until every point is terminal; returns stats."""
+        grid = self.store.load_grid()
+        keys = {key for key, _ in grid}
+        cp = SweepCheckpoint(self.sweep, root=self.checkpoint_root).open(
+            meta={"fabric": True}
+        )
+        fence = WriteFence(self.store, self.worker_id, managed=keys)
+        install_fence(fence)
+        renewer = _LeaseRenewer(
+            self.store, fence, self.worker_id, interval_s=max(0.05, self.ttl_s / 3.0)
+        )
+        renewer.start()
+        stats = {"computed": 0, "failed": 0, "stolen": 0, "fenced": 0}
+        backoff = self.backoff_base_s
+        try:
+            self.store.heartbeat(self.worker_id, phase="start")
+            while True:
+                cp.refresh()
+                terminal = cp.completed_keys() | cp.failed_keys()
+                pending = [(k, p) for k, p in grid if k not in terminal]
+                if not pending:
+                    break
+                lease, point = self._claim_next(pending)
+                if lease is None:
+                    # Everything left is under a live lease: wait with
+                    # decorrelated exponential backoff, then re-scan for
+                    # completions and expiries.
+                    time.sleep(self._rng.uniform(self.backoff_base_s, backoff))
+                    backoff = min(self.backoff_cap_s, backoff * 2)
+                    continue
+                backoff = self.backoff_base_s
+                if lease.stolen:
+                    stats["stolen"] += 1
+                fence.track(lease)
+                try:
+                    outcome = run_points(
+                        [point],
+                        jobs=1,
+                        strict=False,
+                        checkpoint=cp,
+                        journal_extra={"worker": self.worker_id},
+                    )[0]
+                except StaleFencingTokenError:
+                    stats["fenced"] += 1
+                    continue
+                finally:
+                    fence.untrack(lease.key)
+                if isinstance(outcome, PointFailure):
+                    stats["failed"] += 1
+                    self.store.release(lease, "failed")
+                else:
+                    stats["computed"] += 1
+                    self.store.release(lease, "done")
+                self.store.heartbeat(self.worker_id, **stats)
+        finally:
+            renewer.stop()
+            uninstall_fence()
+            stats["rejected"] = fence.rejected
+            try:
+                self.store.heartbeat(self.worker_id, phase="exited", **stats)
+            except OSError:  # pragma: no cover - store vanished
+                pass
+        return stats
+
+    def _claim_next(
+        self, pending: Sequence[Tuple[str, Point]]
+    ) -> Tuple[Optional[Lease], Optional[Point]]:
+        """One claim attempt: fresh points first, then expired leases.
+
+        Preferring unclaimed work keeps stealing (which re-runs a
+        point someone else may still finish) a last resort.
+        """
+        steal_candidates: List[Tuple[str, Point]] = []
+        now = time.time()
+        for key, point in pending:
+            current = self.store.read_lease(key)
+            if current is None:
+                lease = self.store.claim(key, self.worker_id, self.ttl_s)
+                if lease is not None:
+                    return lease, point
+            elif current.reclaimable(now):
+                steal_candidates.append((key, point))
+        for key, point in steal_candidates:
+            lease = self.store.claim(key, self.worker_id, self.ttl_s)
+            if lease is not None:
+                return lease, point
+        return None, None
+
+
+# --------------------------------------------------------------------- #
+# coordinator
+# --------------------------------------------------------------------- #
+class FabricCoordinator:
+    """Shard a grid into leases, spawn workers, finish the tail inline.
+
+    The coordinator is itself a worker: after spawning ``n_workers``
+    subprocesses it joins the claim loop in-process, so a fleet that
+    crashes (or was never started — ``n_workers=0``) degrades to a
+    serial sweep instead of a hang.  Completion is defined by the
+    journal, not by worker exits: a paused worker cannot stall the run.
+    """
+
+    def __init__(
+        self,
+        sweep: str,
+        points: Sequence[Point],
+        n_workers: int = 2,
+        ttl_s: float = DEFAULT_TTL_S,
+        root: Optional[os.PathLike] = None,
+    ) -> None:
+        self.store = LeaseStore(sweep, root=root)
+        self.sweep = self.store.sweep
+        self.points = [Point(*p) for p in points]
+        self.n_workers = max(0, int(n_workers))
+        self.ttl_s = float(ttl_s)
+        self.procs: List[subprocess.Popen] = []
+
+    def spawn_workers(self) -> List[subprocess.Popen]:
+        """Start ``n_workers`` ``repro fabric worker`` subprocesses."""
+        env = dict(os.environ)
+        env["REPRO_FABRIC_DIR"] = str(self.store.root)
+        src_dir = str(pathlib.Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if src_dir not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src_dir + (os.pathsep + existing if existing else "")
+            )
+        for i in range(self.n_workers):
+            argv = [
+                sys.executable,
+                "-m",
+                "repro",
+                "fabric",
+                "worker",
+                self.sweep,
+                "--ttl",
+                f"{self.ttl_s:g}",
+                "--id",
+                f"w{i + 1}",
+            ]
+            self.procs.append(subprocess.Popen(argv, env=env))
+        return self.procs
+
+    def run(self) -> Dict[str, object]:
+        """Execute the whole grid; returns a summary (results included)."""
+        self.store.init_grid(self.points)
+        self.spawn_workers()
+        inline = FabricWorker(
+            self.sweep,
+            worker_id="coordinator",
+            ttl_s=self.ttl_s,
+            root=self.store.root,
+        )
+        try:
+            inline_stats = inline.run()
+        finally:
+            self._reap_workers()
+        # Every point is terminal; serve the merged grid from the cache
+        # (recomputing anything lost/quarantined) in requested order.
+        results = run_points([tuple(p) for p in self.points], jobs=1, strict=False)
+        failures = [r for r in results if isinstance(r, PointFailure)]
+        cp = SweepCheckpoint(self.sweep)
+        if cp.exists:
+            cp.finalize("failed" if failures else "complete")
+        return {
+            "sweep": self.sweep,
+            "results": results,
+            "failures": failures,
+            "inline": inline_stats,
+            "workers": self.store.workers(),
+            "claims": self.store.claims(),
+            "rejections": self.store.rejections(),
+        }
+
+    def _reap_workers(self, grace_s: float = 5.0) -> None:
+        """Stop leftover workers: the grid is terminal, they are idle
+        (or paused past their TTL and already fenced)."""
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.time() + grace_s
+        for proc in self.procs:
+            remaining = max(0.1, deadline - time.time())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                try:
+                    proc.wait(timeout=grace_s)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+
+
+# --------------------------------------------------------------------- #
+# status / reporting
+# --------------------------------------------------------------------- #
+def list_fabric_sweeps(root: Optional[os.PathLike] = None) -> List[LeaseStore]:
+    base = fabric_root(root)
+    if not base.is_dir():
+        return []
+    stores = []
+    for grid in sorted(base.rglob("grid.json")):
+        name = grid.parent.relative_to(base).as_posix()
+        try:
+            stores.append(LeaseStore(name, root=base))
+        except ValueError:
+            continue
+    return stores
+
+
+def sweep_status(
+    store: LeaseStore, checkpoint_root: Optional[os.PathLike] = None
+) -> Dict[str, object]:
+    """Aggregate one fabric sweep's progress for ``repro fabric status``
+    and the ``repro resume`` table.
+
+    ``orphaned`` counts points whose lease expired (or whose holder
+    died) without a journaled outcome — work that is *reclaimable*, as
+    opposed to ``failed`` work that ran and broke.
+    """
+    cp = SweepCheckpoint(store.sweep, root=checkpoint_root)
+    cp.refresh()
+    done = cp.completed_keys()
+    failed = cp.failed_keys()
+    try:
+        keys = [k for k, _ in store.load_grid()]
+    except ValueError:
+        keys = []
+    now = time.time()
+    leases = {lease.key: lease for lease in store.leases()}
+    leased = orphaned = unclaimed = 0
+    owners: Set[str] = set()
+    for key in keys:
+        if key in done or key in failed:
+            continue
+        lease = leases.get(key)
+        if lease is None:
+            unclaimed += 1
+        elif lease.reclaimable(now):
+            orphaned += 1
+        else:
+            leased += 1
+            owners.add(lease.worker)
+    workers = store.workers()
+    return {
+        "sweep": store.sweep,
+        "total": len(keys),
+        "done": sum(1 for k in keys if k in done),
+        "failed": sum(1 for k in keys if k in failed),
+        "leased": leased,
+        "orphaned": orphaned,
+        "unclaimed": unclaimed,
+        "owners": sorted(owners),
+        "workers_alive": sum(1 for w in workers if w.get("alive")),
+        "workers_seen": len(workers),
+        "rejections": len(store.rejections()),
+        "steals": sum(1 for c in store.claims() if c.get("reason") == "steal"),
+    }

@@ -75,6 +75,14 @@ class FaultParams:
     max_retries: int = 16
     #: multiplicative backoff applied to the timeout after each retry
     retry_backoff: float = 2.0
+    #: decorrelation weight for retransmit backoff in [0, 1]: 0 keeps the
+    #: purely deterministic exponential ladder (every sender that lost a
+    #: message in the same drop burst retries in lock-step — a retry
+    #: storm); 1 is fully decorrelated jitter drawn between the base
+    #: timeout and 3x the previous one.  The jitter stream is seeded from
+    #: ``fault_seed`` (independently of the injector's draw stream), so
+    #: runs stay bit-identical per seed.
+    retry_jitter: float = 0.5
 
     def __post_init__(self) -> None:
         for name in _PROB_FIELDS:
@@ -101,6 +109,11 @@ class FaultParams:
             raise ValueError("FaultParams.max_retries must be >= 0")
         if self.retry_backoff < 1.0:
             raise ValueError("FaultParams.retry_backoff must be >= 1.0")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError(
+                f"FaultParams.retry_jitter must be in [0, 1], got "
+                f"{self.retry_jitter!r}"
+            )
 
     @property
     def enabled(self) -> bool:

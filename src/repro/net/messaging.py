@@ -30,7 +30,8 @@ When the cluster runs with fault injection
 (:class:`~repro.net.faults.FaultParams` enabled), every send is
 *sequence-numbered* and watched: if the message has not been deposited in
 the destination's memory within ``retry_timeout`` cycles, the NI
-retransmits it (same sequence number), backing off exponentially, up to
+retransmits it (same sequence number), backing off exponentially with
+seeded decorrelated jitter (see ``FaultParams.retry_jitter``), up to
 ``max_retries`` times — then raises
 :class:`~repro.net.faults.RetryExhaustedError` instead of hanging.  The
 deposit event doubles as the acknowledgement (a zero-cost piggybacked
@@ -44,6 +45,7 @@ in :attr:`retransmits` / :attr:`retransmitted_bytes`, which flow into
 from __future__ import annotations
 
 import itertools
+import random
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
 from repro.net.faults import FaultParams, RetryExhaustedError
@@ -74,6 +76,15 @@ class MessagingLayer:
         self.nics = nics
         #: reliable-delivery knobs; ``None`` = perfect fabric, no timers
         self.faults = faults if faults is not None and faults.enabled else None
+        #: dedicated jitter stream for retransmit backoff — decoupled from
+        #: the injector's draw stream so enabling jitter does not shift
+        #: which messages get dropped, and seeded so runs stay
+        #: bit-identical per fault_seed
+        self._backoff_rng = (
+            random.Random(self.faults.fault_seed ^ 0x9E3779B9)
+            if self.faults is not None
+            else None
+        )
         self._seq_counters: Dict[int, "itertools.count"] = {}
         #: number of NI-driven retransmissions across the cluster
         self.retransmits = 0
@@ -123,10 +134,31 @@ class MessagingLayer:
             self.arch.packet_mtu, self.arch.packet_header_bytes
         )
         self._nic(msg.src_node).send(msg)
-        next_timeout = max(1, int(timeout * f.retry_backoff))
+        next_timeout = self._next_timeout(timeout)
         self.sim.schedule(
             next_timeout, self._check_delivery, msg, deposit, retries + 1, next_timeout
         )
+
+    def _next_timeout(self, timeout: int) -> int:
+        """Grow the retransmit timeout: exponential backoff, decorrelated.
+
+        With ``retry_jitter`` 0 this is the legacy deterministic ladder
+        (``timeout * retry_backoff``).  Otherwise the deterministic value
+        is blended with a decorrelated draw uniform over
+        ``[retry_timeout, 3 * timeout]`` (Exponential Backoff And Jitter,
+        "decorrelated jitter" variant), so senders that lost messages in
+        the same drop burst do not retry in synchronized waves.  Draws
+        come from the dedicated seeded stream: per-seed bit-identical.
+        """
+        f = self.faults
+        deterministic = max(1, int(timeout * f.retry_backoff))
+        if not f.retry_jitter or self._backoff_rng is None:
+            return deterministic
+        decorrelated = self._backoff_rng.randint(
+            f.retry_timeout, max(f.retry_timeout, 3 * timeout)
+        )
+        blended = (1.0 - f.retry_jitter) * deterministic + f.retry_jitter * decorrelated
+        return max(1, int(blended))
 
     # ------------------------------------------------------------------ #
     # cost/accounting helpers

@@ -1,0 +1,256 @@
+"""Distributed sweep fabric: leases, fencing tokens, write guards, workers."""
+
+import dataclasses
+import json
+import time
+
+import pytest
+
+from repro.core import runcache
+from repro.core.checkpoint import SweepCheckpoint
+from repro.core.config import ClusterConfig
+from repro.core.executor import Point
+from repro.core.fabric import (
+    FabricWorker,
+    Lease,
+    LeaseStore,
+    StaleFencingTokenError,
+    WriteFence,
+    install_fence,
+    list_fabric_sweeps,
+    sweep_status,
+    uninstall_fence,
+)
+from repro.core.sweeps import clear_caches
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def fresh(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "cp"))
+    monkeypatch.setenv("REPRO_FABRIC_DIR", str(tmp_path / "fabric"))
+    runcache.reset_disk_cache()
+    clear_caches()
+    yield tmp_path
+    uninstall_fence()
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+def _points(n=2):
+    base = ClusterConfig()
+    apps = ["fft", "lu", "radix", "ocean"]
+    return [Point(apps[i % len(apps)], SCALE, base) for i in range(n)]
+
+
+# --------------------------------------------------------------------- #
+# grid init
+# --------------------------------------------------------------------- #
+def test_init_grid_is_idempotent(fresh):
+    store = LeaseStore("unit/grid")
+    keys = store.init_grid(_points(2))
+    assert len(keys) == 2 and store.exists
+    assert store.init_grid(_points(2)) == keys  # same grid: no-op
+    loaded = store.load_grid()
+    assert [k for k, _ in loaded] == keys
+    assert loaded[0][1].app == "fft" and loaded[0][1].config == ClusterConfig()
+
+
+def test_init_grid_rejects_different_grid(fresh):
+    store = LeaseStore("unit/grid2")
+    store.init_grid(_points(2))
+    with pytest.raises(ValueError, match="different"):
+        store.init_grid(_points(3))
+
+
+def test_duplicate_points_collapse_to_one_lease(fresh):
+    store = LeaseStore("unit/dup")
+    pts = _points(1) * 3
+    assert len(store.init_grid(pts)) == 1
+
+
+def test_invalid_sweep_name_rejected(fresh):
+    with pytest.raises(ValueError, match="invalid sweep name"):
+        LeaseStore("../escape")
+
+
+# --------------------------------------------------------------------- #
+# lease lifecycle + fencing tokens
+# --------------------------------------------------------------------- #
+def test_claim_renew_release_lifecycle(fresh):
+    store = LeaseStore("unit/life")
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=30)
+    assert lease is not None and lease.token == 1 and not lease.stolen
+    # a live lease blocks other claimants
+    assert store.claim(key, "w2", ttl_s=30) is None
+    renewed = store.renew(lease)
+    assert renewed.expires_unix >= lease.expires_unix
+    assert store.release(renewed, "done")
+    # terminal leases are never reclaimed
+    assert store.claim(key, "w2", ttl_s=30) is None
+    assert store.read_lease(key).status == "done"
+
+
+def test_expired_lease_is_stolen_with_higher_token(fresh):
+    store = LeaseStore("unit/steal")
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=0.01)
+    time.sleep(0.05)
+    stolen = store.claim(key, "w2", ttl_s=30)
+    assert stolen is not None and stolen.stolen
+    assert stolen.token > lease.token and stolen.prev_token == lease.token
+    reasons = [(c["reason"], c["worker"]) for c in store.claims()]
+    assert reasons == [("grant", "w1"), ("steal", "w2")]
+
+
+def test_dead_holder_is_reclaimed_before_ttl(fresh):
+    store = LeaseStore("unit/dead")
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=3600)
+    # rewrite the lease as if held by a long-dead process: liveness, not
+    # the TTL, must make it reclaimable
+    dead = dataclasses.replace(lease, pid=2**22 - 3, pid_start=12345)
+    store._atomic_write(
+        store._lease_path(key), json.dumps(dead.to_dict()) + "\n"
+    )
+    assert store.read_lease(key).reclaimable()
+    stolen = store.claim(key, "w2", ttl_s=30)
+    assert stolen is not None and stolen.prev_token == lease.token
+
+
+def test_renew_after_supersede_raises_stale_token(fresh):
+    store = LeaseStore("unit/renew-stale")
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=0.01)
+    time.sleep(0.05)
+    store.claim(key, "w2", ttl_s=30)
+    with pytest.raises(StaleFencingTokenError):
+        store.renew(lease)
+    # ...and the stale holder's release is a no-op, not a clobber
+    assert not store.release(lease, "done")
+    assert store.read_lease(key).worker == "w2"
+
+
+def test_lease_from_dict_ignores_unknown_fields(fresh):
+    lease = Lease.from_dict(
+        {
+            "key": "k",
+            "token": 3,
+            "worker": "w",
+            "pid": 1,
+            "pid_start": None,
+            "granted_unix": 0.0,
+            "ttl_s": 1.0,
+            "expires_unix": 1.0,
+            "from_the_future": True,
+        }
+    )
+    assert lease.token == 3 and not hasattr(lease, "from_the_future")
+
+
+# --------------------------------------------------------------------- #
+# write fence
+# --------------------------------------------------------------------- #
+def test_fence_tags_valid_writes_and_rejects_stale(fresh):
+    store = LeaseStore("unit/fence")
+    (key,) = store.init_grid(_points(1))
+    fence = WriteFence(store, "w1", managed={key})
+    # unmanaged keys pass through untouched
+    assert fence.check("somebody-elses-key") is None
+    lease = store.claim(key, "w1", ttl_s=0.01)
+    fence.track(lease)
+    assert fence.check(key) == {"token": lease.token, "worker": "w1"}
+    # supersede the lease: the same check must now reject, durably
+    time.sleep(0.05)
+    store.claim(key, "w2", ttl_s=30)
+    with pytest.raises(StaleFencingTokenError) as exc:
+        fence.check(key)
+    assert exc.value.held_token == lease.token
+    assert exc.value.current_token > lease.token
+    assert fence.rejected == 1
+    assert store.rejections()[0]["worker"] == "w1"
+
+
+def test_installed_fence_guards_journal_and_cache(fresh):
+    from repro.apps import get_app
+    from repro.core import run_simulation
+
+    result = run_simulation(
+        get_app("fft", page_size=4096, scale=SCALE, seed=42), ClusterConfig()
+    )
+    store = LeaseStore("unit/guards")
+    (key,) = store.init_grid(_points(1))
+    fence = WriteFence(store, "w1", managed={key})
+    lease = store.claim(key, "w1", ttl_s=0.01)
+    fence.track(lease)
+    install_fence(fence)
+    try:
+        cp = SweepCheckpoint("unit/guards").open()
+        cp.record(key, "done")
+        rec = cp.load()[0]
+        assert rec["token"] == lease.token and rec["worker"] == "w1"
+
+        time.sleep(0.05)
+        store.claim(key, "w2", ttl_s=30)  # supersede
+        with pytest.raises(StaleFencingTokenError):
+            cp.record(key, "failed")
+        assert len(cp.load()) == 1  # the rejected append never happened
+
+        cache = runcache.disk_cache()
+        with pytest.raises(StaleFencingTokenError):
+            cache.put(key, result)
+        assert cache.get(key) is None
+        assert fence.rejected == 2
+    finally:
+        uninstall_fence()
+    # with the fence uninstalled the same writes go through again
+    cache = runcache.disk_cache()
+    cache.put(key, result)
+    assert cache.get(key) is not None
+
+
+# --------------------------------------------------------------------- #
+# worker + status
+# --------------------------------------------------------------------- #
+def test_single_worker_completes_grid_and_tags_journal(fresh):
+    store = LeaseStore("unit/solo")
+    keys = store.init_grid(_points(2))
+    stats = FabricWorker("unit/solo", worker_id="solo", ttl_s=30).run()
+    assert stats == {
+        "computed": 2, "failed": 0, "stolen": 0, "fenced": 0, "rejected": 0,
+    }
+    cp = SweepCheckpoint("unit/solo")
+    cp.refresh()
+    assert cp.completed_keys() == set(keys)
+    for rec in cp.load():
+        assert rec["worker"] == "solo" and isinstance(rec["token"], int)
+    # every lease ended terminal; all results are served from the cache
+    assert all(lease.status == "done" for lease in store.leases())
+    st = sweep_status(store)
+    assert st["done"] == 2 and st["orphaned"] == 0 and st["steals"] == 0
+
+
+def test_sweep_status_counts_orphaned_distinct_from_failed(fresh):
+    store = LeaseStore("unit/orphan")
+    keys = store.init_grid(_points(3))
+    # key 0: journaled failed; key 1: lease expired un-journaled (orphan);
+    # key 2: untouched
+    SweepCheckpoint("unit/orphan").open().record(keys[0], "failed")
+    store.claim(keys[1], "w1", ttl_s=0.01)
+    time.sleep(0.05)
+    st = sweep_status(store)
+    assert st["failed"] == 1
+    assert st["orphaned"] == 1
+    assert st["unclaimed"] == 1
+    assert st["done"] == 0
+
+
+def test_list_fabric_sweeps(fresh):
+    assert list_fabric_sweeps() == []
+    LeaseStore("unit/list-a").init_grid(_points(1))
+    LeaseStore("unit/list-b").init_grid(_points(1))
+    names = [s.sweep for s in list_fabric_sweeps()]
+    assert names == ["unit/list-a", "unit/list-b"]

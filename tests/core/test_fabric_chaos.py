@@ -1,0 +1,220 @@
+"""Fabric chaos tests: SIGKILL/SIGSTOP workers mid-sweep, byte-identical merge.
+
+The acceptance scenario for the distributed sweep fabric: a 6-point grid
+worked by 3 worker processes, one SIGKILLed mid-point and one SIGSTOPped
+past its lease TTL, must
+
+* complete every point (survivors steal the abandoned leases),
+* reclaim each expired lease exactly once (claims log),
+* reject every stale-token write the resurrected worker attempts
+  (rejection counter > 0, durable ``rejections.jsonl``), and
+* produce merged results byte-identical to a plain serial run of the
+  same grid in a pristine cache.
+
+Workers run with ``REPRO_CHAOS_POINT_DELAY_S`` stretching every computed
+point, so the signals land mid-computation deterministically.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import runcache
+from repro.core.checkpoint import SweepCheckpoint
+from repro.core.config import ClusterConfig
+from repro.core.executor import Point, PointFailure, run_points
+from repro.core.fabric import LeaseStore
+from repro.core.sweeps import clear_caches
+
+SCALE = 0.05
+SWEEP = "chaos/kill-stop"
+TTL_S = 2.0
+POINT_DELAY_S = 0.7
+DEADLINE_S = 120.0
+
+# Worker child: join the sweep's claim loop, then print final stats as
+# a parseable line.  Runs `repro.core.fabric.FabricWorker` directly so
+# stats (fenced/rejected counters) come back to the test.
+CHILD = r"""
+import json, sys
+from repro.core.fabric import FabricWorker
+
+stats = FabricWorker(sys.argv[1], worker_id=sys.argv[2], ttl_s=float(sys.argv[3])).run()
+print("STATS " + json.dumps(stats), flush=True)
+"""
+
+
+def _grid():
+    base = ClusterConfig()
+    return [
+        Point("lu", SCALE, base.with_comm(interrupt_cost=500 + 100 * i))
+        for i in range(6)
+    ]
+
+
+def _canonical(results):
+    """Canonical bytes for a merged grid — the byte-identity oracle."""
+    assert not any(isinstance(r, PointFailure) for r in results)
+    return json.dumps(
+        [dataclasses.asdict(r) for r in results],
+        sort_keys=True,
+        default=repr,
+    ).encode("utf-8")
+
+
+def _use_dirs(monkeypatch, tmp_path, tag):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / tag / "cache"))
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / tag / "cp"))
+    monkeypatch.setenv("REPRO_FABRIC_DIR", str(tmp_path / tag / "fabric"))
+    monkeypatch.delenv("REPRO_CHAOS_POINT_DELAY_S", raising=False)
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+def _spawn_worker(worker_id):
+    env = dict(
+        os.environ,
+        REPRO_CHAOS_POINT_DELAY_S=str(POINT_DELAY_S),
+    )
+    return subprocess.Popen(
+        [sys.executable, "-c", CHILD, SWEEP, worker_id, str(TTL_S)],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for(predicate, what, deadline_s=DEADLINE_S):
+    t0 = time.time()
+    while time.time() - t0 < deadline_s:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"timed out after {deadline_s:g}s waiting for {what}")
+
+
+def _worker_stats(proc, deadline_s=30.0):
+    out, _ = proc.communicate(timeout=deadline_s)
+    for line in out.splitlines():
+        if line.startswith("STATS "):
+            return json.loads(line[len("STATS "):])
+    pytest.fail(f"worker printed no stats line; stdout was: {out!r}")
+
+
+@pytest.fixture
+def chaos_env(tmp_path, monkeypatch):
+    yield tmp_path, monkeypatch
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+def test_sigkill_sigstop_chaos_merges_byte_identical(chaos_env):
+    tmp_path, monkeypatch = chaos_env
+    points = _grid()
+
+    # ---- serial baseline in a pristine cache --------------------------- #
+    _use_dirs(monkeypatch, tmp_path, "serial")
+    baseline = _canonical(run_points(points, jobs=1))
+    clear_caches()
+
+    # ---- fabric run under fault injection ------------------------------ #
+    _use_dirs(monkeypatch, tmp_path, "fabric")
+    store = LeaseStore(SWEEP)
+    keys = set(store.init_grid(points))
+    assert len(keys) == 6
+
+    procs = {wid: _spawn_worker(wid) for wid in ("w1", "w2", "w3")}
+    stopped = None
+    try:
+        # Wait until the victims each hold a lease, i.e. are mid-compute
+        # (the chaos delay stretches every point to ~0.7s+).
+        def claimed(wid):
+            return any(c["worker"] == wid for c in store.claims())
+
+        _wait_for(lambda: claimed("w1") and claimed("w2"),
+                  "w1 and w2 to claim leases")
+        time.sleep(0.2)  # land the signals mid-point, not between points
+
+        procs["w1"].kill()  # SIGKILL: holder dies, lease reclaimed by liveness
+        os.kill(procs["w2"].pid, signal.SIGSTOP)  # freeze past the TTL
+        stopped = procs["w2"]
+        w2_keys = {
+            lease.key
+            for lease in store.leases()
+            if lease.worker == "w2" and lease.status == "held"
+        }
+        assert w2_keys, "stopped worker should hold at least one lease"
+
+        # The survivor (w3) must finish the whole grid: fresh points, the
+        # killed worker's lease (immediately reclaimable — holder dead),
+        # and the stopped worker's lease once its TTL expires.
+        cp = SweepCheckpoint(SWEEP)
+
+        def all_done():
+            cp.refresh()
+            return keys <= cp.completed_keys()
+
+        _wait_for(all_done, "all 6 points to be journaled done")
+        assert cp.failed_keys() == set()
+
+        # Resurrect the paused worker *after* its points were re-done: its
+        # pending writes now carry a superseded fencing token and must be
+        # rejected, not accepted.
+        os.kill(stopped.pid, signal.SIGCONT)
+        stopped = None
+        w2_stats = _worker_stats(procs["w2"])
+        w3_stats = _worker_stats(procs["w3"])
+    finally:
+        if stopped is not None:
+            os.kill(stopped.pid, signal.SIGCONT)
+        for proc in procs.values():
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    # ---- every expired lease reclaimed exactly once -------------------- #
+    steals = [c for c in store.claims() if c["reason"] == "steal"]
+    steals_per_key = {}
+    for c in steals:
+        steals_per_key[c["key"]] = steals_per_key.get(c["key"], 0) + 1
+    assert steals, "the killed/stopped workers' leases must be stolen"
+    assert all(n == 1 for n in steals_per_key.values()), (
+        f"a lease was reclaimed more than once: {steals_per_key}"
+    )
+    assert w2_keys <= set(steals_per_key), (
+        "the stopped worker's expired lease was never stolen"
+    )
+    # only the survivor (or the resurrected w2, post-fence) stole work
+    assert all(c["worker"] in ("w2", "w3") for c in steals)
+
+    # ---- stale writes were rejected, none accepted --------------------- #
+    rejections = store.rejections()
+    assert rejections, "the resurrected worker's stale writes must be rejected"
+    assert all(r["worker"] == "w2" for r in rejections)
+    assert all(r["current_token"] > r["held_token"] for r in rejections)
+    assert w2_stats["rejected"] > 0
+    assert w2_stats["rejected"] == len(rejections)
+    assert w3_stats["rejected"] == 0
+    assert w3_stats["computed"] + w2_stats["computed"] >= 6 - len(w2_keys)
+    # the journal credits each point exactly once, never to a stale token
+    cp.refresh()
+    by_key = {}
+    for rec in cp.load():
+        if rec["status"] == "done":
+            by_key.setdefault(rec["key"], []).append(rec)
+    assert set(by_key) == keys
+    for key, recs in by_key.items():
+        assert len(recs) == 1, f"point {key[:12]} journaled done twice"
+        current = store.read_lease(key)
+        assert recs[0]["token"] == current.token
+
+    # ---- merged results byte-identical to the serial baseline ---------- #
+    clear_caches()  # force the merge to come from the fabric's disk cache
+    merged = _canonical(run_points(points, jobs=1))
+    assert merged == baseline

@@ -55,6 +55,8 @@ def _run(app, config, scale=0.05):
         ({"retry_timeout": 0}, "retry_timeout"),
         ({"max_retries": -1}, "max_retries"),
         ({"retry_backoff": 0.5}, "retry_backoff"),
+        ({"retry_jitter": -0.1}, "retry_jitter"),
+        ({"retry_jitter": 1.5}, "retry_jitter"),
         ({"degraded_links": ((0, 1, 1.5),)}, "degraded_links"),
     ],
 )
@@ -141,8 +143,47 @@ def test_faulty_run_bit_identical_for_fixed_seed():
 
 
 # --------------------------------------------------------------------- #
-# recovery: protocols complete correctly under loss
+# decorrelated retransmit backoff jitter
 # --------------------------------------------------------------------- #
+def test_backoff_jitter_is_deterministic_per_seed():
+    """Jitter draws come from a dedicated stream seeded by fault_seed:
+    same seed -> bit-identical run, different seed -> different timing."""
+    heavy = FaultParams(drop_prob=0.15, retry_timeout=20_000, max_retries=64)
+    a = _run("fft", ClusterConfig(faults=heavy))
+    b = _run("fft", ClusterConfig(faults=heavy))
+    assert a.total_cycles == b.total_cycles
+    assert a.meta == b.meta
+
+
+def test_jitter_zero_reproduces_deterministic_ladder():
+    """retry_jitter=0 must follow the legacy timeout * backoff formula."""
+    from repro.net.messaging import MessagingLayer
+
+    layer = MessagingLayer.__new__(MessagingLayer)
+    layer.faults = FaultParams(
+        drop_prob=0.01, retry_timeout=10_000, retry_backoff=2.0, retry_jitter=0.0
+    )
+    layer._backoff_rng = None
+    assert layer._next_timeout(10_000) == 20_000
+    assert layer._next_timeout(20_000) == 40_000
+
+
+def test_jitter_decorrelates_but_stays_bounded():
+    """With jitter on, successive timeouts vary inside
+    [(1-j)*det, (1-j)*det + j*3*timeout] and never collapse below the
+    base timeout's deterministic floor."""
+    import random as _random
+
+    from repro.net.messaging import MessagingLayer
+
+    layer = MessagingLayer.__new__(MessagingLayer)
+    layer.faults = FaultParams(
+        drop_prob=0.01, retry_timeout=10_000, retry_backoff=2.0, retry_jitter=1.0
+    )
+    layer._backoff_rng = _random.Random(7)
+    draws = {layer._next_timeout(10_000) for _ in range(64)}
+    assert len(draws) > 1, "fully-jittered backoff must vary"
+    assert all(10_000 <= d <= 30_000 for d in draws)
 @pytest.mark.parametrize("protocol", ["hlrc", "aurc"])
 def test_protocols_complete_under_drops(protocol):
     cfg = ClusterConfig(
