@@ -25,11 +25,21 @@ without breaking older checkouts' CI.
 The full comparison is written to ``--out`` (JSON) so CI can upload it
 as an artifact regardless of outcome.
 
+History
+-------
+``--store PATH`` appends the fresh record as a row in the columnar
+result store's ``bench_history`` table (:mod:`repro.core.store`), and
+``--trend N`` prints how the gated keys compare against the median of
+the last N stored rows — the committed BENCH file stays the hard gate,
+while the store accumulates the longitudinal history CI trends against
+(see the ``perf-history`` job).
+
 Usage::
 
     python scripts/bench_compare.py --fresh BENCH_fresh.json \
         [--baseline BENCH_sweep.json] [--kind sweep|engine] \
-        [--threshold 0.30] [--out bench_diff.json]
+        [--threshold 0.30] [--out bench_diff.json] \
+        [--store results/store.sqlite] [--trend 10]
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -118,6 +129,41 @@ def compare(baseline: dict, fresh: dict, threshold: float, kind: str) -> dict:
     }
 
 
+def _open_store(path: str):
+    """Import the repro package (scripts run without PYTHONPATH) and open
+    the columnar result store at ``path``."""
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.core.store import ResultStore
+
+    return ResultStore(path)
+
+
+def trend_report(store, kind: str, fresh: dict, last: int) -> list:
+    """Compare the fresh gated keys against the median of the last
+    ``last`` stored rows of this kind; returns printable lines."""
+    history = store.bench_trend(kind, last=last)
+    lines = []
+    if not history:
+        return [f"trend: no prior {kind} rows in {store.path}"]
+    for key, label in SCHEMAS[kind]["gate"].items():
+        new = _numeric(fresh, key)
+        past = [
+            v for v in (_numeric(rec["payload"], key) for rec in history)
+            if v is not None
+        ]
+        if new is None or not past:
+            continue
+        median = statistics.median(past)
+        delta = (new - median) / median if median > 0 else 0.0
+        lines.append(
+            f"trend: {label}: {new:.2f} vs median {median:.2f} over last "
+            f"{len(past)} row(s) ({delta * 100:+.1f}%)"
+        )
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", required=True, help="fresh benchmark output")
@@ -139,6 +185,26 @@ def main(argv=None) -> int:
         help="gated-key slowdown fraction that fails the gate (default 0.30)",
     )
     parser.add_argument("--out", default="bench_diff.json", help="comparison artifact")
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="append the fresh record to this result store's bench_history "
+        "(sqlite; created if missing)",
+    )
+    parser.add_argument(
+        "--trend",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --store: also report the gated keys against the median "
+        "of the last N history rows (informational, never gates)",
+    )
+    parser.add_argument(
+        "--source",
+        default="bench_compare",
+        help="provenance label for the appended history row",
+    )
     args = parser.parse_args(argv)
 
     fresh = json.loads(pathlib.Path(args.fresh).read_text(encoding="utf-8"))
@@ -148,6 +214,15 @@ def main(argv=None) -> int:
     )
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     report = compare(baseline, fresh, args.threshold, kind)
+
+    if args.store:
+        store = _open_store(args.store)
+        if args.trend:  # trend against history *before* appending today's row
+            for line in trend_report(store, kind, fresh, args.trend):
+                print(line)
+        row_id = store.append_bench(kind, fresh, source=args.source)
+        report["history_row"] = row_id
+        print(f"appended {kind} history row {row_id} to {args.store}")
 
     pathlib.Path(args.out).write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"

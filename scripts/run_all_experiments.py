@@ -46,6 +46,7 @@ from repro.core.executor import (
     set_default_fidelity,
     set_default_jobs,
 )
+from repro.core.store import ingest_artifact_quietly
 from repro.experiments import (
     ablations,
     breakdowns,
@@ -167,6 +168,13 @@ def run_all(
         text = out.table_str()
         txt_path.write_text(text + "\n")
         json_path.write_text(json.dumps(out.data, indent=2, default=str) + "\n")
+        # The files are an export format; the columnar store is the
+        # durable history (`python -m repro report <name>` re-renders
+        # this exact table without re-simulating).
+        ingest_artifact_quietly(
+            name, text, data=out.data, scale=scale, title=out.title,
+            source="run_all",
+        )
         combined[name] = text
         parent.record(f"driver:{name}", "done")
         if not quiet:

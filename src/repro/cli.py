@@ -21,6 +21,13 @@ Commands
 ``cache {stats,verify,clear}``
     Inspect, integrity-audit, or purge the persistent run cache
     (``results/.runcache/``).
+``report [TARGET]``
+    Query the columnar result store (:mod:`repro.core.store`,
+    ``results/store.sqlite``): render a stored figure/table without
+    re-simulating (``report figure01``), migrate committed outputs and
+    cache records in (``report ingest``), compare model versions from
+    history rows (``report diff --model-version 3 4``), show bench
+    trends (``report trend``), or export tables (``report export``).
 ``fabric {start,worker,status}``
     Distributed sweeps (:mod:`repro.core.fabric`): ``start`` shards a
     grid into leases under ``results/.fabric/<sweep>/`` and spawns
@@ -481,8 +488,18 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["apps"] = args.apps
 
     def body() -> int:
+        from repro.core.store import ingest_artifact_quietly
+
         out = attach_checkpoint_note(registry[args.id](**kwargs))
         print(out.table_str())
+        ingest_artifact_quietly(
+            args.id,
+            out.table_str(),
+            data=out.data,
+            scale=args.scale,
+            title=out.title,
+            source="cli",
+        )
         return 0
 
     return _run_checkpointed(args, f"{args.id}-s{args.scale:g}", body)
@@ -604,6 +621,251 @@ def cmd_cache(args: argparse.Namespace) -> int:
     clear_caches()
     print(f"removed {removed} cached run(s) from {cache.root}")
     return 0
+
+
+#: bench-history keys worth printing per benchmark kind (mirrors the
+#: gate/warn tables in scripts/bench_compare.py)
+_TREND_KEYS = {
+    "sweep": ("serial_cold_s", "parallel_cold_s", "parallel_warm_s"),
+    "engine": ("optimized_ns_per_event", "reference_ns_per_event"),
+}
+
+#: report actions; any other target is an experiment id to render
+_REPORT_ACTIONS = ("list", "stats", "ingest", "diff", "trend", "speedups", "export")
+
+
+def _report_render(store, args: argparse.Namespace) -> int:
+    """Serve one experiment's table from store rows — zero simulation."""
+    artifact = store.artifact(args.target, scale=args.scale)
+    if artifact is None:
+        at = f" at scale {args.scale:g}" if args.scale is not None else ""
+        print(
+            f"error: no stored render of {args.target!r}{at}; generate one "
+            f"with `repro experiment {args.target}` or migrate committed "
+            "outputs with `repro report ingest --results results --scale 1`",
+            file=sys.stderr,
+        )
+        return 1
+    print(artifact["text"])
+    return 0
+
+
+def _report_ingest(store, args: argparse.Namespace) -> int:
+    """Migrate committed results/*.txt|json pairs and/or the run cache."""
+    if not args.results and not args.runcache:
+        print(
+            "error: nothing to ingest — give --results DIR and/or --runcache",
+            file=sys.stderr,
+        )
+        return 2
+    ingested = 0
+    if args.results:
+        import json as _json
+        import pathlib
+
+        results_dir = pathlib.Path(args.results)
+        if not results_dir.is_dir():
+            print(f"error: no such directory {results_dir}", file=sys.stderr)
+            return 2
+        known = set(_experiment_registry())
+        for txt_path in sorted(results_dir.glob("*.txt")):
+            exp_id = txt_path.stem
+            if exp_id not in known:
+                continue  # ALL.txt, stray notes...
+            data = None
+            json_path = txt_path.with_suffix(".json")
+            if json_path.is_file():
+                try:
+                    data = _json.loads(json_path.read_text(encoding="utf-8"))
+                except ValueError:
+                    data = None
+            store.ingest_artifact(
+                exp_id,
+                txt_path.read_text(encoding="utf-8").rstrip("\n"),
+                data=data,
+                scale=args.scale,
+                source=f"migrated:{results_dir}",
+            )
+            ingested += 1
+            print(f"  artifact {exp_id} <- {txt_path}")
+    migrated_runs = 0
+    if args.runcache:
+        from repro.core import runcache
+
+        cache = runcache.disk_cache()
+        if cache is None:
+            print("error: disk cache disabled (REPRO_DISK_CACHE=0)", file=sys.stderr)
+            return 2
+        entries = []
+        for path in cache.entries():
+            status, result = cache._classify(path)
+            if status == "ok" and result is not None:
+                entries.append((path.stem, result, args.scale))
+        migrated_runs = store.ingest_results(entries, sweep="runcache-migration")
+        print(
+            f"  run cache: {migrated_runs} new run(s) from "
+            f"{len(entries)} readable record(s) in {cache.root}"
+        )
+    print(
+        f"ingested {ingested} artifact(s), {migrated_runs} run(s) "
+        f"-> {store.path}"
+    )
+    return 0
+
+
+def _report_diff(store, args: argparse.Namespace) -> int:
+    if not args.model_version:
+        print(
+            "error: diff needs --model-version OLD NEW", file=sys.stderr
+        )
+        return 2
+    old, new = args.model_version
+    report = store.diff_model_versions(old, new)
+    if report["golden"]:
+        rows = [
+            [g["tag"], g["status"], g["old_cycles"] or "-", g["new_cycles"] or "-"]
+            for g in report["golden"]
+        ]
+        print(format_table(
+            ["grid point", "digest", f"cycles v{old}", f"cycles v{new}"],
+            rows, title=f"Golden digests: model v{old} vs v{new}"))
+        changed = sum(1 for g in report["golden"] if g["status"] != "same")
+        print(f"\n{changed} of {len(report['golden'])} digest(s) differ")
+    else:
+        print(f"no golden history for model versions {old}/{new}")
+    if report["speedups"]:
+        rows = []
+        for s in report["speedups"]:
+            delta = "-"
+            if s["old_mean"] and s["new_mean"]:
+                delta = f"{(s['new_mean'] - s['old_mean']) / s['old_mean']:+.1%}"
+            rows.append([
+                s["app"], s["protocol"] or "-",
+                "-" if s["old_mean"] is None else round(s["old_mean"], 2),
+                "-" if s["new_mean"] is None else round(s["new_mean"], 2),
+                delta, s["old_points"], s["new_points"],
+            ])
+        print()
+        print(format_table(
+            ["app", "protocol", f"mean v{old}", f"mean v{new}", "delta",
+             f"runs v{old}", f"runs v{new}"],
+            rows, title="Mean speedups per (app, protocol)"))
+    return 0
+
+
+def _report_trend(store, args: argparse.Namespace) -> int:
+    trend = store.bench_trend(args.kind, last=args.last)
+    if not trend:
+        print(f"no bench history of kind {args.kind!r} in {store.path}")
+        return 0
+    keys = [
+        k for k in _TREND_KEYS.get(args.kind, ())
+        if any(isinstance(r["payload"].get(k), (int, float)) for r in trend)
+    ]
+    rows = []
+    for r in trend:
+        import time as _time
+
+        stamp = _time.strftime(
+            "%Y-%m-%d %H:%M", _time.gmtime(r["recorded_unix"] or 0)
+        )
+        rows.append(
+            [r["id"], stamp, r["model_version"], r["source"] or "-"]
+            + [
+                "-" if not isinstance(r["payload"].get(k), (int, float))
+                else round(r["payload"][k], 4)
+                for k in keys
+            ]
+        )
+    print(format_table(
+        ["row", "recorded (UTC)", "model", "source"] + list(keys),
+        rows, title=f"Bench history: {args.kind} (last {len(trend)})"))
+    return 0
+
+
+def _report_speedups(store, args: argparse.Namespace) -> int:
+    rows_data = store.speedups(
+        app=args.app, protocol=args.protocol, scale=args.scale
+    )
+    if not rows_data:
+        print("no matching runs in the store")
+        return 0
+    rows = [
+        [r["app"], r["protocol"], "-" if r["scale"] is None else r["scale"],
+         round(r["speedup"], 2), round(r["ideal_speedup"], 2),
+         r["fidelity"], r["key"][:12]]
+        for r in rows_data
+    ]
+    print(format_table(
+        ["app", "protocol", "scale", "speedup", "ideal", "fidelity", "key"],
+        rows, title=f"Stored speedups ({len(rows)} run(s))"))
+    return 0
+
+
+def _report_export(store, args: argparse.Namespace) -> int:
+    if not args.out:
+        print("error: export needs --out FILE (.csv, .jsonl or .parquet)",
+              file=sys.stderr)
+        return 2
+    if args.out.endswith(".parquet"):
+        n = store.export_parquet(args.out, table=args.table)
+    elif args.out.endswith(".csv"):
+        n = store.export_csv(args.out, table=args.table)
+    else:
+        n = store.export_jsonl(args.out, table=args.table)
+    print(f"exported {n} row(s) from {args.table} to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Query the columnar result store (figures, history, exports)."""
+    from repro.core.store import result_store
+
+    store = result_store()
+    if store is None:
+        print("error: result store disabled (REPRO_RESULT_STORE=0)",
+              file=sys.stderr)
+        return 2
+    target = args.target or "list"
+    try:
+        if target == "list":
+            artifacts = store.artifact_ids()
+            if artifacts:
+                rows = [
+                    [exp_id, "-" if scale is None else scale, n]
+                    for exp_id, scale, n in artifacts
+                ]
+                print(format_table(["experiment", "scale", "renders"], rows,
+                                   title="Stored experiment artifacts"))
+            else:
+                print("no stored experiment artifacts")
+            st = store.stats()
+            print(
+                f"\n{st['runs']} run(s), {st['bench_rows']} bench row(s), "
+                f"{st['golden_rows']} golden row(s) in {st['path']} "
+                f"(model versions: "
+                f"{', '.join(map(str, st['model_versions'])) or 'none'})"
+            )
+            print("\nrender one with: python -m repro report <experiment>")
+            return 0
+        if target == "stats":
+            for k, v in store.stats().items():
+                print(f"{k:>15}: {v}")
+            return 0
+        if target == "ingest":
+            return _report_ingest(store, args)
+        if target == "diff":
+            return _report_diff(store, args)
+        if target == "trend":
+            return _report_trend(store, args)
+        if target == "speedups":
+            return _report_speedups(store, args)
+        if target == "export":
+            return _report_export(store, args)
+        return _report_render(store, args)
+    except RuntimeError as exc:  # SchemaMismatchError, missing pyarrow...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_fabric(args: argparse.Namespace) -> int:
@@ -805,6 +1067,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache.add_argument("action", choices=("stats", "verify", "clear"))
 
+    p_rep = sub.add_parser(
+        "report",
+        help="query the columnar result store: render stored figures, "
+        "diff model versions, bench trends, exports (no simulation)",
+    )
+    p_rep.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment id to render from store rows (e.g. figure01), or "
+        f"an action: {', '.join(_REPORT_ACTIONS)} (default: list)",
+    )
+    p_rep.add_argument(
+        "--scale", type=float, default=None,
+        help="problem scale to select / tag (render, ingest, speedups)",
+    )
+    p_rep.add_argument(
+        "--results", default=None, metavar="DIR",
+        help="ingest: directory of committed <experiment>.txt/.json outputs",
+    )
+    p_rep.add_argument(
+        "--runcache", action="store_true",
+        help="ingest: migrate readable run-cache records into the store",
+    )
+    p_rep.add_argument(
+        "--model-version", nargs=2, type=int, default=None,
+        metavar=("OLD", "NEW"), help="diff: the two model versions to compare",
+    )
+    p_rep.add_argument(
+        "--kind", choices=sorted(_TREND_KEYS), default="sweep",
+        help="trend: bench history kind (default: sweep)",
+    )
+    p_rep.add_argument(
+        "--last", type=int, default=10, help="trend: rows to show (default 10)"
+    )
+    p_rep.add_argument("--app", default=None, help="speedups: filter by app")
+    p_rep.add_argument(
+        "--protocol", choices=("hlrc", "aurc"), default=None,
+        help="speedups: filter by protocol",
+    )
+    p_rep.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="export: output file (.csv, .jsonl, or .parquet with pyarrow)",
+    )
+    p_rep.add_argument(
+        "--table", default="runs",
+        help="export: store table to export (default: runs)",
+    )
+
     p_fab = sub.add_parser(
         "fabric",
         help="distributed sweeps: leased work queue with fencing tokens",
@@ -859,6 +1170,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         "experiment": cmd_experiment,
         "resume": cmd_resume,
         "cache": cmd_cache,
+        "report": cmd_report,
         "fabric": cmd_fabric,
     }
     return handlers[args.command](args)

@@ -536,7 +536,7 @@ def run_points(
     if level != "des":
         from repro.core.fidelity import run_points_fast
 
-        return run_points_fast(
+        fast = run_points_fast(
             ordered,
             level,
             jobs=jobs,
@@ -546,6 +546,8 @@ def run_points(
             deadline_s=deadline_s,
             rss_mb=rss_mb,
         )
+        _ingest_outcomes(ordered, fast, checkpoint, level)
+        return fast
     unique: List[Point] = []
     seen: Set[Point] = set()
     for p in ordered:
@@ -673,10 +675,53 @@ def run_points(
             total=len(unique),
         )
 
+    # Every completed point lands in the columnar result store — the
+    # sweep builds the longitudinal corpus as a side effect.  Cache hits
+    # ingest too (idempotent per content key) so migrated/old caches
+    # backfill; failures never block the grid (best-effort by contract).
+    _ingest_outcomes(
+        unique, [resolved[p] for p in unique], cp, "des", keys=keys or None
+    )
+
     failures = [r for r in resolved.values() if isinstance(r, PointFailure)]
     if failures and strict:
         raise GridExecutionError(failures)
     return [resolved[p] for p in ordered]
+
+
+def _ingest_outcomes(
+    points: Sequence[Point],
+    outcomes: Sequence[Union[RunResult, PointFailure, None]],
+    checkpoint: Union[SweepCheckpoint, str, None],
+    fidelity: str,
+    keys: Optional[Dict[Point, str]] = None,
+) -> None:
+    """Append a grid's successful outcomes to the result store.
+
+    ``keys`` reuses content hashes the checkpoint path already computed;
+    anything missing is hashed here.  Deduplicates points so a grid with
+    repeated entries ingests each result once.
+    """
+    from repro.core import runcache
+    from repro.core.store import ingest_quietly, result_store
+
+    if result_store() is None:
+        return
+    cp = _resolve_checkpoint(checkpoint)
+    entries = []
+    seen: Set[str] = set()
+    for p, out in zip(points, outcomes):
+        if not isinstance(out, RunResult):
+            continue
+        key = (keys or {}).get(p) or runcache.content_key(p.app, p.scale, p.config)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append((key, out, p.scale))
+    if entries:
+        ingest_quietly(
+            entries, sweep=cp.name if cp is not None else None, fidelity=fidelity
+        )
 
 
 def _map_parallel(

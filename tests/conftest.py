@@ -9,7 +9,7 @@ override ``REPRO_CACHE_DIR`` themselves.
 
 import pytest
 
-from repro.core import runcache
+from repro.core import runcache, store
 from repro.core.sweeps import clear_caches
 
 
@@ -17,12 +17,16 @@ from repro.core.sweeps import clear_caches
 def _isolated_disk_cache(tmp_path_factory):
     root = tmp_path_factory.mktemp("runcache")
     checkpoints = tmp_path_factory.mktemp("checkpoints")
+    store_dir = tmp_path_factory.mktemp("store")
     mp = pytest.MonkeyPatch()
     mp.setenv("REPRO_CACHE_DIR", str(root))
     mp.setenv("REPRO_CHECKPOINT_DIR", str(checkpoints))
+    mp.setenv("REPRO_STORE_PATH", str(store_dir / "store.sqlite"))
     mp.delenv("REPRO_JOBS", raising=False)
     runcache.reset_disk_cache()
+    store.reset_result_store()
     yield
     mp.undo()
     runcache.reset_disk_cache()
+    store.reset_result_store()
     clear_caches()
