@@ -30,6 +30,11 @@ directory split the driver list between them instead of duplicating
 work.  A copy that crashes loses its leases (holder-liveness check) and
 one that stalls loses them after ``--fabric-ttl`` seconds; survivors
 steal the abandoned drivers and the regeneration still completes.
+With ``--fabric-addr`` (or ``REPRO_FABRIC_ADDR``) the leases come from
+a TCP broker (``repro fabric broker``; :mod:`repro.core.fabric_net`)
+instead of the local filesystem, so the cooperating copies can live on
+*different machines*; if the broker vanishes the script degrades to the
+filesystem store and still finishes.
 """
 
 import argparse
@@ -118,7 +123,8 @@ def run_all(
     quiet: bool = False,
     resume: bool = False,
     fabric: bool = False,
-    fabric_ttl: float = 900.0,
+    fabric_ttl=None,
+    fabric_addr=None,
 ):
     """Run every driver; returns ``{driver_name: seconds}`` wall-clock timings.
 
@@ -138,9 +144,16 @@ def run_all(
     parent = SweepCheckpoint(parent_name).open(meta={"resume_cmd": hint})
     store = worker_id = None
     if fabric:
-        from repro.core.fabric import LeaseStore
+        from repro.core.fabric import FabricTransportError, resolve_ttl
+        from repro.core.fabric_net import make_lease_store
 
-        store = LeaseStore(parent_name)
+        if fabric_ttl is None and "REPRO_FABRIC_TTL_S" not in os.environ:
+            fabric_ttl = 900.0  # drivers run for minutes, not seconds
+        fabric_ttl = resolve_ttl(fabric_ttl)
+        # --fabric-addr / REPRO_FABRIC_ADDR selects the TCP broker
+        # transport so copies of this script on *other machines* share
+        # the driver list; otherwise the filesystem store as before.
+        store = make_lease_store(parent_name, addr=fabric_addr)
         worker_id = f"runall-{os.getpid()}"
     combined = {}
     timings = {}
@@ -204,14 +217,44 @@ def run_all(
                     )
                 continue
             if store is not None:
-                lease = store.claim(f"driver-{name}", worker_id, ttl_s=fabric_ttl)
-                if lease is None:
-                    continue  # a live peer holds it; revisit next pass
                 try:
+                    lease = store.claim(
+                        f"driver-{name}", worker_id, ttl_s=fabric_ttl
+                    )
+                except FabricTransportError as exc:
+                    # Broker gone: degrade once to the filesystem store
+                    # and keep going — peers on this machine still
+                    # coordinate, remote ones re-join when it returns.
+                    from repro.core.fabric import LeaseStore
+
+                    store = LeaseStore(parent_name)
+                    print(
+                        f"fabric: broker unreachable ({exc}); continuing "
+                        f"with the filesystem lease store at {store.dir}",
+                        flush=True,
+                    )
+                    lease = store.claim(
+                        f"driver-{name}", worker_id, ttl_s=fabric_ttl
+                    )
+                if lease is None:
+                    current = store.read_lease(f"driver-{name}")
+                    if current is None or current.status == "held":
+                        continue  # a live peer holds it; revisit next pass
+                    # Terminal lease but this --out lacks the exports (a
+                    # previous run wrote to a different directory): the
+                    # points replay from the run cache, so re-render
+                    # without a lease instead of waiting forever on a
+                    # driver nobody will release again.
                     _run_one(name, driver, txt_path, json_path)
-                finally:
-                    status = "done" if name in combined else "failed"
-                    store.release(lease, status)
+                else:
+                    try:
+                        _run_one(name, driver, txt_path, json_path)
+                    finally:
+                        status = "done" if name in combined else "failed"
+                        try:
+                            store.release(lease, status)
+                        except FabricTransportError:
+                            pass  # lease expires; the journal stands
             else:
                 _run_one(name, driver, txt_path, json_path)
             del pending[name]
@@ -266,8 +309,17 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--fabric-ttl",
         type=float,
-        default=900.0,
-        help="driver lease TTL in seconds for --fabric (default: 900)",
+        default=None,
+        help="driver lease TTL in seconds for --fabric "
+        "(default: $REPRO_FABRIC_TTL_S, else 900; validated to sane bounds)",
+    )
+    parser.add_argument(
+        "--fabric-addr",
+        default=os.environ.get("REPRO_FABRIC_ADDR"),
+        metavar="HOST:PORT",
+        help="lease broker address for --fabric so copies of this script on "
+        "other machines share the driver list (default: $REPRO_FABRIC_ADDR, "
+        "else the local filesystem store; see `repro fabric broker`)",
     )
     parser.add_argument(
         "--fidelity",
@@ -304,7 +356,13 @@ def main(argv=None) -> None:
             resume=args.resume,
             fabric=args.fabric,
             fabric_ttl=args.fabric_ttl,
+            fabric_addr=args.fabric_addr,
         )
+    except ValueError as exc:
+        # e.g. a misconfigured --fabric-ttl / REPRO_FABRIC_TTL_S: one
+        # friendly line instead of a silently broken sweep (or traceback).
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     except SweepInterrupted as exc:
         print(
             f"\ninterrupted — completed points are journaled; "

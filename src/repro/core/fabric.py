@@ -84,6 +84,66 @@ DEFAULT_FABRIC_DIR = os.path.join("results", ".fabric")
 #: reclaimed promptly
 DEFAULT_TTL_S = 30.0
 
+#: renewal cadence floor — the heartbeat thread never spins faster
+#: than this, so a TTL below 3x this floor cannot be renewed in time
+MIN_HEARTBEAT_S = 0.05
+
+#: sane TTL bounds: below the floor a lease expires between heartbeats;
+#: above the ceiling a stalled worker blocks a point for over a day
+MIN_TTL_S = 3 * MIN_HEARTBEAT_S
+MAX_TTL_S = 86400.0
+
+
+class FabricTransportError(RuntimeError):
+    """The fabric's coordination transport is unavailable.
+
+    Raised by remote lease stores (:mod:`repro.core.fabric_net`) once
+    their retry budget is exhausted and the circuit breaker opens.  The
+    filesystem store never raises it.  Workers treat it as "drain and
+    exit cleanly"; the coordinator degrades to the filesystem store (or
+    finishes the grid inline) — a vanished broker slows a sweep down,
+    it never hangs or corrupts it.
+    """
+
+
+def heartbeat_interval(ttl_s: float) -> float:
+    """Renewal cadence for a lease TTL: a third of it, floored."""
+    return max(MIN_HEARTBEAT_S, float(ttl_s) / 3.0)
+
+
+def resolve_ttl(ttl_s: Optional[float] = None) -> float:
+    """Validated lease TTL from arg > ``REPRO_FABRIC_TTL_S`` > default.
+
+    One friendly line on misconfiguration instead of a silently broken
+    sweep: the TTL must sit in ``[MIN_TTL_S, MAX_TTL_S]`` and leave the
+    renewer at least three heartbeats (``ttl >= 3 * heartbeat``), or a
+    healthy worker's lease would expire between renewals and its points
+    would be stolen while it computes.
+    """
+    source = "--ttl"
+    if ttl_s is None:
+        raw = os.environ.get("REPRO_FABRIC_TTL_S")
+        if raw is None:
+            return DEFAULT_TTL_S
+        source = "REPRO_FABRIC_TTL_S"
+        try:
+            ttl_s = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{source}={raw!r} is not a number; pick a lease TTL in "
+                f"seconds between {MIN_TTL_S:g} and {MAX_TTL_S:g}"
+            ) from None
+    ttl_s = float(ttl_s)
+    floor = max(MIN_TTL_S, 3 * MIN_HEARTBEAT_S)
+    if not (floor <= ttl_s <= MAX_TTL_S):
+        raise ValueError(
+            f"fabric TTL {ttl_s:g}s ({source}) is outside [{floor:g}, "
+            f"{MAX_TTL_S:g}]s — it must cover at least 3 heartbeat "
+            f"intervals ({heartbeat_interval(ttl_s):g}s each) or a healthy "
+            "worker's lease expires between renewals"
+        )
+    return ttl_s
+
 
 class StaleFencingTokenError(RuntimeError):
     """A write carried a fencing token that has been superseded.
@@ -136,12 +196,36 @@ class Lease:
     status: str = "held"
     #: token of the lease this grant superseded (``None`` = fresh claim)
     prev_token: Optional[int] = None
+    #: broker-minted session id for remote holders (``None`` = local
+    #: holder identified by ``(pid, pid_start)``)
+    session: Optional[str] = None
 
     @property
     def stolen(self) -> bool:
         return self.prev_token is not None
 
     def holder_alive(self) -> bool:
+        """Best-effort holder liveness; ``True`` when unknowable.
+
+        Three tiers, strongest evidence first:
+
+        * a local holder with recorded ``(pid, start time)`` is checked
+          against procfs — PID reuse cannot fake it;
+        * a remote holder (``session`` set, or a sentinel ``pid <= 0``)
+          lives on another machine: its PID means nothing here, so
+          liveness is the broker's job (session TTL) and this reports
+          alive — reclaim happens via the lease TTL;
+        * a local holder whose start time could not be recorded (no
+          procfs: macOS, slim containers) degrades to **TTL-only**
+          liveness.  A bare PID existence check would misread an
+          unrelated recycled PID as the holder — and worse, a PID that
+          happens to be free as "holder dead", stealing a live worker's
+          lease.  Never assume dead on weak evidence.
+        """
+        if self.session is not None or self.pid <= 0:
+            return True
+        if self.pid_start is None:
+            return True
         return is_process_alive(self.pid, self.pid_start)
 
     def reclaimable(self, now: Optional[float] = None) -> bool:
@@ -175,6 +259,10 @@ class LeaseStore:
     files.  The fence lock itself dies with its holder — the store can
     never wedge.
     """
+
+    #: transport tag for status displays; the TCP-backed store
+    #: (:class:`repro.core.fabric_net.RemoteLeaseStore`) reports ``tcp``
+    transport = "fs"
 
     def __init__(self, sweep: str, root: Optional[os.PathLike] = None) -> None:
         self.sweep = validate_sweep_name(sweep)
@@ -299,7 +387,14 @@ class LeaseStore:
         )
         return next_token
 
-    def claim(self, key: str, worker: str, ttl_s: float) -> Optional[Lease]:
+    def claim(
+        self,
+        key: str,
+        worker: str,
+        ttl_s: float,
+        session: Optional[str] = None,
+        session_expired=None,
+    ) -> Optional[Lease]:
         """Try to take the lease on ``key`` for ``worker``.
 
         Succeeds when the point is unclaimed or its current lease is
@@ -307,14 +402,31 @@ class LeaseStore:
         live lease stands.  Claims serialize under the fence lock, so
         two stealers racing for one expired lease produce exactly one
         grant — the loser sees the winner's fresh lease and backs off.
+
+        ``session`` marks a grant made on behalf of a remote holder (the
+        broker in :mod:`repro.core.fabric_net`): the lease records the
+        session id instead of a local ``(pid, start time)`` identity.
+        ``session_expired`` is an optional predicate the broker supplies
+        so a held lease whose holder's *session* died (heartbeats
+        stopped) is reclaimable before its own TTL runs out.
         """
         self.leases_dir.mkdir(parents=True, exist_ok=True)
         with file_lock(self._lock_path):
             now = time.time()
             current = self.read_lease(key)
             if current is not None and not current.reclaimable(now):
-                return None
-            pid, pid_start = process_identity()
+                dead_session = (
+                    current.status == "held"
+                    and current.session is not None
+                    and session_expired is not None
+                    and session_expired(current.session)
+                )
+                if not dead_session:
+                    return None
+            if session is not None:
+                pid, pid_start = 0, None  # remote holder: session liveness
+            else:
+                pid, pid_start = process_identity()
             lease = Lease(
                 key=key,
                 token=self._mint_token_locked(),
@@ -325,6 +437,7 @@ class LeaseStore:
                 ttl_s=float(ttl_s),
                 expires_unix=now + float(ttl_s),
                 prev_token=current.token if current is not None else None,
+                session=session,
             )
             self._atomic_write(
                 self._lease_path(key), json.dumps(lease.to_dict()) + "\n"
@@ -338,6 +451,7 @@ class LeaseStore:
                     "reason": "steal" if lease.stolen else "grant",
                     "prev_token": lease.prev_token,
                     "prev_worker": current.worker if current is not None else None,
+                    "session": session,
                     "unix": now,
                 },
             )
@@ -434,7 +548,6 @@ class LeaseStore:
     # worker heartbeats
     # ------------------------------------------------------------------ #
     def heartbeat(self, worker: str, **info: object) -> None:
-        self.workers_dir.mkdir(parents=True, exist_ok=True)
         pid, pid_start = process_identity()
         record = {
             "worker": worker,
@@ -443,6 +556,16 @@ class LeaseStore:
             "beat_unix": time.time(),
         }
         record.update(info)
+        self.write_worker_record(worker, record)
+
+    def write_worker_record(self, worker: str, record: dict) -> None:
+        """Durably publish one worker's liveness record (atomic write).
+
+        Used by :meth:`heartbeat` for local workers and by the broker
+        (:mod:`repro.core.fabric_net`) to mirror remote workers' session
+        heartbeats into the same on-disk layout.
+        """
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
         self._atomic_write(
             self.workers_dir / f"{worker}.json", json.dumps(record) + "\n"
         )
@@ -459,9 +582,15 @@ class LeaseStore:
             if isinstance(record, dict):
                 pid = record.get("pid")
                 start = record.get("pid_start")
-                record["alive"] = isinstance(pid, int) and is_process_alive(
-                    pid, start if isinstance(start, int) else None
-                )
+                if record.get("session") is not None:
+                    # Remote worker: a local PID probe means nothing.
+                    # ``alive`` is the broker's call (session TTL); keep
+                    # whatever it mirrored, default to unknown-but-seen.
+                    record.setdefault("alive", True)
+                else:
+                    record["alive"] = isinstance(pid, int) and is_process_alive(
+                        pid, start if isinstance(start, int) else None
+                    )
                 out.append(record)
         return out
 
@@ -616,8 +745,11 @@ class _LeaseRenewer(threading.Thread):
                             # tracked — the write fence will reject (and
                             # count) the eventual write attempt.
                             pass
-            except OSError:
-                pass  # transient FS trouble; retry next beat
+            except (OSError, FabricTransportError):
+                # Transient FS trouble, or the broker is unreachable:
+                # retry next beat.  The claim loop hits the same wall and
+                # decides whether to drain; the renewer never escalates.
+                pass
 
 
 # --------------------------------------------------------------------- #
@@ -635,8 +767,9 @@ class FabricWorker:
         checkpoint_root: Optional[os.PathLike] = None,
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
+        store: Optional[LeaseStore] = None,
     ) -> None:
-        self.store = LeaseStore(sweep, root=root)
+        self.store = store if store is not None else LeaseStore(sweep, root=root)
         self.sweep = self.store.sweep
         self.worker_id = worker_id or f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
         self.ttl_s = float(ttl_s)
@@ -649,20 +782,23 @@ class FabricWorker:
 
     def run(self) -> Dict[str, int]:
         """Work the grid until every point is terminal; returns stats."""
-        grid = self.store.load_grid()
-        keys = {key for key, _ in grid}
-        cp = SweepCheckpoint(self.sweep, root=self.checkpoint_root).open(
-            meta={"fabric": True}
-        )
-        fence = WriteFence(self.store, self.worker_id, managed=keys)
-        install_fence(fence)
-        renewer = _LeaseRenewer(
-            self.store, fence, self.worker_id, interval_s=max(0.05, self.ttl_s / 3.0)
-        )
-        renewer.start()
         stats = {"computed": 0, "failed": 0, "stolen": 0, "fenced": 0}
+        fence: Optional[WriteFence] = None
+        renewer: Optional[_LeaseRenewer] = None
         backoff = self.backoff_base_s
         try:
+            grid = self.store.load_grid()
+            keys = {key for key, _ in grid}
+            cp = SweepCheckpoint(self.sweep, root=self.checkpoint_root).open(
+                meta={"fabric": True}
+            )
+            fence = WriteFence(self.store, self.worker_id, managed=keys)
+            install_fence(fence)
+            renewer = _LeaseRenewer(
+                self.store, fence, self.worker_id,
+                interval_s=heartbeat_interval(self.ttl_s),
+            )
+            renewer.start()
             self.store.heartbeat(self.worker_id, phase="start")
             while True:
                 cp.refresh()
@@ -702,14 +838,30 @@ class FabricWorker:
                     stats["computed"] += 1
                     self.store.release(lease, "done")
                 self.store.heartbeat(self.worker_id, **stats)
+        except FabricTransportError as exc:
+            # The broker stayed unreachable past the client's retry
+            # budget (circuit breaker open).  Nothing half-written can
+            # be accepted — the write fence fails *closed* — so the
+            # correct move is a clean drain: journaled outcomes stand,
+            # the in-flight point is abandoned for a successor (or the
+            # coordinator's inline fallback) to recompute.
+            stats["broker_lost"] = 1
+            logger.warning(
+                "worker %s: fabric transport lost (%s); drained and exiting "
+                "cleanly — completed points are journaled, the rest will be "
+                "recomputed by survivors",
+                self.worker_id,
+                exc,
+            )
         finally:
-            renewer.stop()
+            if renewer is not None:
+                renewer.stop()
             uninstall_fence()
-            stats["rejected"] = fence.rejected
+            stats["rejected"] = fence.rejected if fence is not None else 0
             try:
                 self.store.heartbeat(self.worker_id, phase="exited", **stats)
-            except OSError:  # pragma: no cover - store vanished
-                pass
+            except (OSError, FabricTransportError):  # pragma: no cover
+                pass  # store/broker vanished
         return stats
 
     def _claim_next(
@@ -722,8 +874,13 @@ class FabricWorker:
         """
         steal_candidates: List[Tuple[str, Point]] = []
         now = time.time()
+        # One bulk fetch instead of a read per key: over the TCP
+        # transport this is a single RPC per scan; claim() still
+        # re-checks under the fence lock, so a stale snapshot only
+        # costs a failed claim, never a double grant.
+        current_leases = {lease.key: lease for lease in self.store.leases()}
         for key, point in pending:
-            current = self.store.read_lease(key)
+            current = current_leases.get(key)
             if current is None:
                 lease = self.store.claim(key, self.worker_id, self.ttl_s)
                 if lease is not None:
@@ -757,18 +914,27 @@ class FabricCoordinator:
         n_workers: int = 2,
         ttl_s: float = DEFAULT_TTL_S,
         root: Optional[os.PathLike] = None,
+        store: Optional[LeaseStore] = None,
     ) -> None:
-        self.store = LeaseStore(sweep, root=root)
+        self.store = store if store is not None else LeaseStore(sweep, root=root)
         self.sweep = self.store.sweep
         self.points = [Point(*p) for p in points]
         self.n_workers = max(0, int(n_workers))
         self.ttl_s = float(ttl_s)
         self.procs: List[subprocess.Popen] = []
+        #: set to ``"fs"`` / ``"inline"`` when the TCP transport was
+        #: abandoned mid-run (degradation ladder: tcp -> fs -> inline)
+        self.degraded: Optional[str] = None
 
     def spawn_workers(self) -> List[subprocess.Popen]:
         """Start ``n_workers`` ``repro fabric worker`` subprocesses."""
         env = dict(os.environ)
-        env["REPRO_FABRIC_DIR"] = str(self.store.root)
+        if self.store.transport == "tcp":
+            env["REPRO_FABRIC_ADDR"] = getattr(self.store, "addr", "")
+            env.pop("REPRO_FABRIC_DIR", None)
+        else:
+            env["REPRO_FABRIC_DIR"] = str(self.store.root)
+            env.pop("REPRO_FABRIC_ADDR", None)
         src_dir = str(pathlib.Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH", "")
         if src_dir not in existing.split(os.pathsep):
@@ -792,19 +958,48 @@ class FabricCoordinator:
         return self.procs
 
     def run(self) -> Dict[str, object]:
-        """Execute the whole grid; returns a summary (results included)."""
-        self.store.init_grid(self.points)
+        """Execute the whole grid; returns a summary (results included).
+
+        Degradation ladder (never hang, never corrupt):
+
+        1. **tcp** — the configured store is a broker client; workers on
+           any machine share the grid.
+        2. **fs** — the broker is unreachable *from the start*: fall
+           back to the filesystem lease store and run locally.
+        3. **inline** — the broker (or the whole fleet) vanished
+           *mid-run*: the final serve pass below recomputes whatever is
+           missing serially, with no fence in the way.
+        """
+        try:
+            self.store.init_grid(self.points)
+        except FabricTransportError as exc:
+            self.degraded = "fs"
+            self.store = LeaseStore(self.sweep)
+            self.store.init_grid(self.points)
+            print(
+                f"fabric: broker unreachable ({exc}); degraded to the "
+                f"filesystem lease store at {self.store.dir} — the sweep "
+                "continues on this machine (slower, never hung)",
+                flush=True,
+            )
         self.spawn_workers()
         inline = FabricWorker(
             self.sweep,
             worker_id="coordinator",
             ttl_s=self.ttl_s,
-            root=self.store.root,
+            store=self.store,
         )
         try:
             inline_stats = inline.run()
         finally:
             self._reap_workers()
+        if inline_stats.get("broker_lost"):
+            self.degraded = "inline"
+            print(
+                "fabric: broker lost mid-sweep; finishing the remaining "
+                "points inline (serial) from the local cache/journal",
+                flush=True,
+            )
         # Every point is terminal; serve the merged grid from the cache
         # (recomputing anything lost/quarantined) in requested order.
         results = run_points([tuple(p) for p in self.points], jobs=1, strict=False)
@@ -812,15 +1007,24 @@ class FabricCoordinator:
         cp = SweepCheckpoint(self.sweep)
         if cp.exists:
             cp.finalize("failed" if failures else "complete")
-        return {
+        summary = {
             "sweep": self.sweep,
             "results": results,
             "failures": failures,
             "inline": inline_stats,
-            "workers": self.store.workers(),
-            "claims": self.store.claims(),
-            "rejections": self.store.rejections(),
+            "transport": self.store.transport,
+            "degraded": self.degraded,
+            "workers": [],
+            "claims": [],
+            "rejections": [],
         }
+        try:
+            summary["workers"] = self.store.workers()
+            summary["claims"] = self.store.claims()
+            summary["rejections"] = self.store.rejections()
+        except FabricTransportError:  # pragma: no cover - broker died late
+            pass
+        return summary
 
     def _reap_workers(self, grace_s: float = 5.0) -> None:
         """Stop leftover workers: the grid is terminal, they are idle
@@ -866,7 +1070,11 @@ def sweep_status(
 
     ``orphaned`` counts points whose lease expired (or whose holder
     died) without a journaled outcome — work that is *reclaimable*, as
-    opposed to ``failed`` work that ran and broke.
+    opposed to ``failed`` work that ran and broke.  The subset of those
+    whose lease was broker-granted (a remote worker's session went
+    quiet) is ``broker_orphaned`` — `repro resume` labels them
+    distinctly, since the worker lives on another machine and no local
+    PID probe can explain the orphan.
     """
     cp = SweepCheckpoint(store.sweep, root=checkpoint_root)
     cp.refresh()
@@ -878,7 +1086,7 @@ def sweep_status(
         keys = []
     now = time.time()
     leases = {lease.key: lease for lease in store.leases()}
-    leased = orphaned = unclaimed = 0
+    leased = orphaned = broker_orphaned = unclaimed = 0
     owners: Set[str] = set()
     for key in keys:
         if key in done or key in failed:
@@ -888,21 +1096,27 @@ def sweep_status(
             unclaimed += 1
         elif lease.reclaimable(now):
             orphaned += 1
+            if lease.session is not None:
+                broker_orphaned += 1
         else:
             leased += 1
             owners.add(lease.worker)
     workers = store.workers()
     return {
         "sweep": store.sweep,
+        "transport": store.transport,
+        "broker": getattr(store, "addr", None),
         "total": len(keys),
         "done": sum(1 for k in keys if k in done),
         "failed": sum(1 for k in keys if k in failed),
         "leased": leased,
         "orphaned": orphaned,
+        "broker_orphaned": broker_orphaned,
         "unclaimed": unclaimed,
         "owners": sorted(owners),
         "workers_alive": sum(1 for w in workers if w.get("alive")),
         "workers_seen": len(workers),
+        "workers": workers,
         "rejections": len(store.rejections()),
         "steals": sum(1 for c in store.claims() if c.get("reason") == "steal"),
     }

@@ -1,0 +1,1203 @@
+"""Multi-machine fabric transport: a crash-tolerant TCP lease broker.
+
+:mod:`repro.core.fabric` coordinates workers through a filesystem lease
+store — perfect on one host, useless across machines.  This module is
+the transport PR 7 left room for: a **single-file TCP lease broker**
+(`repro fabric broker`) speaking a small length-prefixed JSON protocol,
+plus a :class:`RemoteLeaseStore` client that implements the existing
+:class:`~repro.core.fabric.LeaseStore` surface, so ``FabricWorker``,
+``WriteFence`` and ``FabricCoordinator`` run unchanged over the network.
+
+Design points (the paper's subject is communication parameters; its
+fabric should survive bad ones):
+
+Session liveness replaces ``(pid, start time)``
+    A remote worker's PID means nothing on the broker host.  The broker
+    mints a **session id** per client (``hello``); every RPC refreshes
+    the session's server-side TTL deadline.  A lease granted to a
+    session is reclaimable when its own TTL passes *or* its session
+    goes quiet — SIGSTOP, network partition, and host death all look
+    the same: heartbeats stop, the deadline passes, a survivor steals.
+
+Fencing tokens are minted only by the broker
+    Every mint is appended (fsync'd) to an **append-only broker
+    journal** (``results/.fabric/<sweep>/broker.jsonl``) *before* the
+    grant can reach a client, and the monotonic counter survives in
+    ``fence.json``.  A SIGKILLed broker restarts from
+    ``max(journal, fence)`` and can never reissue a token a client
+    might hold — a partitioned-then-healed worker still gets
+    :class:`~repro.core.fabric.StaleFencingTokenError` at the existing
+    checkpoint/run-cache write guards, never a silent clobber.
+
+The client assumes the network is out to get it
+    Every RPC runs under a deadline with **decorrelated-jitter
+    exponential backoff** (the ``FaultParams.retry_jitter`` scheme from
+    :mod:`repro.net.messaging`, here at the transport layer) behind a
+    small **circuit breaker**.  When the breaker opens (broker
+    unreachable past the retry budget) the store raises
+    :class:`~repro.core.fabric.FabricTransportError`: a worker drains
+    and exits cleanly, the coordinator degrades to the filesystem store
+    or finishes the grid inline — a vanished broker slows a sweep down,
+    it never hangs or corrupts it.
+
+Chaos is a first-class citizen
+    :class:`ChaosProxy` is a deterministic in-process TCP proxy that
+    drops, delays, black-holes, or half-opens connections on command
+    (seeded), so ``tests/core/test_fabric_net_chaos.py`` can SIGKILL
+    the broker mid-sweep, SIGSTOP a remote worker past its TTL, and
+    partition a worker during renewal — and still assert merged results
+    byte-identical to the serial baseline.
+
+Wire format: 4-byte big-endian length prefix + one JSON object.
+Requests carry ``op`` (and usually ``sweep`` + ``session``); responses
+carry ``ok`` plus either payload fields or ``kind``/``error``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import pathlib
+import random
+import socket
+import socketserver
+import struct
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.checkpoint import validate_sweep_name
+from repro.core.fabric import (
+    FabricTransportError,
+    Lease,
+    LeaseStore,
+    StaleFencingTokenError,
+    fabric_root,
+    heartbeat_interval,
+)
+
+logger = logging.getLogger("repro.fabric.net")
+
+DEFAULT_PORT = 7341
+DEFAULT_SESSION_TTL_S = 15.0
+
+#: largest accepted frame — grids are small; anything bigger is garbage
+MAX_FRAME_BYTES = 16 << 20
+
+_LEN = struct.Struct(">I")
+
+_ID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+class ProtocolError(FabricTransportError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+def parse_addr(addr: str, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """``host:port`` (or bare ``:port``) -> ``(host, port)``."""
+    addr = (addr or "").strip()
+    host, sep, port_s = addr.rpartition(":")
+    if not sep:
+        host, port_s = "", addr
+    host = host or default_host
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(
+            f"invalid fabric address {addr!r}: expected HOST:PORT"
+        ) from None
+    if not (0 <= port <= 65535):
+        raise ValueError(f"invalid fabric port {port} (must be 0..65535)")
+    return host, port
+
+
+# --------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------- #
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    data = json.dumps(obj, sort_keys=True).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large ({len(data)} bytes)")
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"oversized frame announced ({length} bytes)")
+    try:
+        obj = json.loads(_recv_exact(sock, length))
+    except ValueError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return obj
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 16))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _validate_id(value: str, what: str) -> str:
+    """Worker/session ids land in broker-side file names: keep them tame."""
+    if (
+        not isinstance(value, str)
+        or not value
+        or len(value) > 128
+        or not set(value) <= _ID_SAFE
+    ):
+        raise ValueError(f"invalid {what} {value!r}")
+    return value
+
+
+# --------------------------------------------------------------------- #
+# broker
+# --------------------------------------------------------------------- #
+class _JournaledLeaseStore(LeaseStore):
+    """Filesystem store whose token mints append to ``broker.jsonl`` first.
+
+    The journal is append-only and fsync'd per record: by the time a
+    token can appear in any response, its mint is durable.  Restart
+    recovery (:meth:`recover`) fast-forwards ``fence.json`` to
+    ``max(journal, fence) + 1`` — a token value a client might hold is
+    recorded in at least one of the two, so it is never minted twice.
+    """
+
+    def __init__(self, sweep: str, root=None) -> None:
+        super().__init__(sweep, root=root)
+        self.broker_journal_path = self.dir / "broker.jsonl"
+
+    def _mint_token_locked(self) -> int:
+        try:
+            state = json.loads(self.fence_path.read_text())
+            token = int(state["next_token"])
+        except (OSError, ValueError, KeyError, TypeError):
+            token = 1
+        self.journal_event({"ev": "mint", "token": token})
+        self._atomic_write(
+            self.fence_path, json.dumps({"next_token": token + 1}) + "\n"
+        )
+        return token
+
+    def journal_event(self, record: dict) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with open(self.broker_journal_path, "ab") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def journal_records(self) -> List[dict]:
+        return self._read_jsonl(self.broker_journal_path)
+
+    def recover(self) -> int:
+        """Fast-forward the token counter past every journaled mint."""
+        minted = [
+            int(r["token"])
+            for r in self.journal_records()
+            if r.get("ev") == "mint" and isinstance(r.get("token"), int)
+        ]
+        try:
+            fence_next = int(json.loads(self.fence_path.read_text())["next_token"])
+        except (OSError, ValueError, KeyError, TypeError):
+            fence_next = 1
+        next_token = max(fence_next, (max(minted) + 1) if minted else 1)
+        if next_token != fence_next:
+            self._atomic_write(
+                self.fence_path, json.dumps({"next_token": next_token}) + "\n"
+            )
+        return next_token
+
+
+@dataclasses.dataclass
+class _Session:
+    id: str
+    client: str
+    ttl_s: float
+    deadline: float
+    last_beat: float
+
+
+class _BrokerServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    broker: "FabricBroker"
+
+
+class _BrokerHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one persistent connection, many frames
+        sock = self.request
+        sock.settimeout(60.0)
+        broker = self.server.broker
+        broker._track_conn(sock)
+        try:
+            while True:
+                try:
+                    request = recv_frame(sock)
+                except (OSError, ConnectionError, ProtocolError):
+                    return
+                response = broker.dispatch(request)
+                try:
+                    send_frame(sock, response)
+                except OSError:
+                    return
+        finally:
+            broker._untrack_conn(sock)
+
+
+class FabricBroker:
+    """The coordination service: leases, tokens, and session liveness.
+
+    One broker serves many sweeps; all state mutations serialize under
+    one lock and persist through :class:`_JournaledLeaseStore`, so a
+    SIGKILL at any instant loses nothing a client could already hold.
+    Start it with ``repro fabric broker`` or programmatically::
+
+        broker = FabricBroker(port=0).start()   # port=0: pick a free one
+        ... RemoteLeaseStore("sweep", broker.addr) ...
+        broker.stop()
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        root=None,
+        session_ttl_s: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.root = fabric_root(root)
+        if session_ttl_s is None:
+            session_ttl_s = float(
+                os.environ.get("REPRO_FABRIC_SESSION_TTL_S", DEFAULT_SESSION_TTL_S)
+            )
+        self.session_ttl_s = float(session_ttl_s)
+        self.sessions: Dict[str, _Session] = {}
+        self.started_unix: Optional[float] = None
+        self._states: Dict[str, _JournaledLeaseStore] = {}
+        self._lock = threading.RLock()
+        self._server: Optional[_BrokerServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._session_seq = 0
+        self._conns: List[socket.socket] = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def marker_path(self) -> pathlib.Path:
+        return self.root / "broker.json"
+
+    def start(self) -> "FabricBroker":
+        self._recover_all()
+        server = _BrokerServer((self.host, self.port), _BrokerHandler)
+        server.broker = self
+        self.host, self.port = server.server_address[:2]
+        self._server = server
+        self.started_unix = time.time()
+        self._write_marker()
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="fabric-broker",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("fabric broker listening on %s (root %s)", self.addr, self.root)
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for sock in conns:  # sever persistent client connections too
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            self.marker_path.unlink()
+        except OSError:
+            pass
+
+    def _track_conn(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._conns.append(sock)
+
+    def _untrack_conn(self, sock: socket.socket) -> None:
+        with self._lock:
+            try:
+                self._conns.remove(sock)
+            except ValueError:
+                pass
+
+    def _write_marker(self) -> None:
+        """Advertise this broker to local ``repro fabric status`` calls."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        LeaseStore._atomic_write(
+            self.marker_path,
+            json.dumps(
+                {
+                    "addr": self.addr,
+                    "pid": os.getpid(),
+                    "started_unix": self.started_unix,
+                }
+            )
+            + "\n",
+        )
+
+    def _recover_all(self) -> None:
+        """Replay every sweep's broker journal so no token is reissued."""
+        if not self.root.is_dir():
+            return
+        for journal in sorted(self.root.rglob("broker.jsonl")):
+            name = journal.parent.relative_to(self.root).as_posix()
+            try:
+                state = self._state(name)
+            except ValueError:
+                continue
+            next_token = state.recover()
+            logger.info(
+                "recovered sweep %s from %s (next token %d)",
+                name,
+                journal,
+                next_token,
+            )
+
+    def _state(self, sweep: str) -> _JournaledLeaseStore:
+        with self._lock:
+            store = self._states.get(sweep)
+            if store is None:
+                store = _JournaledLeaseStore(sweep, root=self.root)
+                store.recover()
+                self._states[sweep] = store
+            return store
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def _mint_session(self, client: str) -> _Session:
+        self._session_seq += 1
+        sid = f"s{self._session_seq}-{uuid.uuid4().hex[:8]}"
+        return self._register_session(sid, client)
+
+    def _register_session(self, sid: str, client: str) -> _Session:
+        now = time.time()
+        session = _Session(
+            id=sid,
+            client=client,
+            ttl_s=self.session_ttl_s,
+            deadline=now + self.session_ttl_s,
+            last_beat=now,
+        )
+        self.sessions[sid] = session
+        return session
+
+    def _touch_session(self, sid: Optional[str], ttl_hint: Optional[float] = None):
+        """Refresh a session's deadline; adopt ids minted pre-restart.
+
+        ``ttl_hint`` (a lease TTL seen on claim/renew) stretches the
+        session TTL to **two heartbeat intervals** of that lease
+        (``2 * ttl/3``): a healthy holder renewing every ``ttl/3`` —
+        e.g. a ``run_all`` driver lease with a 900s TTL — can miss one
+        beat without being declared dead, while a genuinely quiet one
+        (SIGSTOP, partition, host death) is detected at two-thirds of
+        its lease TTL, *before* the lease itself expires.
+        """
+        if sid is None:
+            return None
+        session = self.sessions.get(sid)
+        if session is None:
+            session = self._register_session(sid, client="adopted")
+        now = time.time()
+        if ttl_hint:
+            session.ttl_s = max(
+                session.ttl_s, 2 * heartbeat_interval(float(ttl_hint))
+            )
+        session.last_beat = now
+        session.deadline = now + session.ttl_s
+        return session
+
+    def _session_expired(self, sid: str) -> bool:
+        """Only a session this broker *saw* go quiet counts as dead —
+        an id it never met (minted before a restart) gets TTL grace."""
+        session = self.sessions.get(sid)
+        return session is not None and time.time() > session.deadline
+
+    def _export_lease(self, lease: Optional[Lease]) -> Optional[dict]:
+        """Lease -> wire dict; a held lease whose session died is
+        exported already-expired so remote scans see it reclaimable."""
+        if lease is None:
+            return None
+        record = lease.to_dict()
+        if (
+            lease.status == "held"
+            and lease.session is not None
+            and self._session_expired(lease.session)
+        ):
+            record["expires_unix"] = min(
+                float(record["expires_unix"]), self.sessions[lease.session].deadline
+            )
+        return record
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{str(op).replace('-', '_')}", None)
+        if handler is None:
+            return {"ok": False, "kind": "value", "error": f"unknown op {op!r}"}
+        try:
+            with self._lock:
+                payload = handler(request)
+        except StaleFencingTokenError as exc:
+            return {
+                "ok": False,
+                "kind": "stale",
+                "key": exc.key,
+                "held_token": exc.held_token,
+                "current_token": exc.current_token,
+                "worker": exc.worker,
+            }
+        except (ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "kind": "value", "error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("broker op %s failed", op)
+            return {"ok": False, "kind": "internal", "error": str(exc)}
+        payload["ok"] = True
+        return payload
+
+    def _sweep_state(self, request: dict) -> _JournaledLeaseStore:
+        return self._state(validate_sweep_name(str(request["sweep"])))
+
+    @staticmethod
+    def _points_from_wire(entries: Sequence[dict]):
+        from repro.core.executor import Point
+        from repro.verify.artifacts import config_from_dict
+
+        return [
+            Point(
+                str(e["app"]), float(e["scale"]), config_from_dict(e["config"])
+            )
+            for e in entries
+        ]
+
+    # ---- ops ---------------------------------------------------------- #
+    def _op_ping(self, request: dict) -> dict:
+        return {"unix": time.time(), "addr": self.addr}
+
+    def _op_hello(self, request: dict) -> dict:
+        client = str(request.get("client", "?"))[:128]
+        session = self._mint_session(client)
+        return {"session": session.id, "session_ttl_s": session.ttl_s}
+
+    def _op_grid_init(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        points = self._points_from_wire(request["points"])
+        fresh = not state.exists
+        keys = state.init_grid(points, meta=request.get("meta") or {})
+        if fresh:
+            state.journal_event(
+                {"ev": "grid-init", "sweep": state.sweep, "points": len(keys)}
+            )
+        return {"keys": keys}
+
+    def _op_grid_exists(self, request: dict) -> dict:
+        return {"exists": self._sweep_state(request).exists}
+
+    def _op_grid_load(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        try:
+            record = json.loads(state.grid_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise ValueError(
+                f"fabric sweep {state.sweep!r} has no readable grid: {exc}"
+            ) from exc
+        return {"points": record.get("points", [])}
+
+    def _op_claim(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        session_id = _validate_id(str(request["session"]), "session id")
+        worker = _validate_id(str(request["worker"]), "worker id")
+        ttl_s = float(request["ttl_s"])
+        self._touch_session(session_id, ttl_hint=ttl_s)
+        lease = state.claim(
+            str(request["key"]),
+            worker,
+            ttl_s,
+            session=session_id,
+            session_expired=self._session_expired,
+        )
+        if lease is not None:
+            state.journal_event(
+                {
+                    "ev": "claim",
+                    "key": lease.key,
+                    "token": lease.token,
+                    "worker": worker,
+                    "session": session_id,
+                    "reason": "steal" if lease.stolen else "grant",
+                }
+            )
+        return {"lease": lease.to_dict() if lease is not None else None}
+
+    def _op_renew(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        lease = Lease.from_dict(dict(request["lease"]))
+        self._touch_session(request.get("session"), ttl_hint=lease.ttl_s)
+        renewed = state.renew(lease)
+        return {"lease": renewed.to_dict()}
+
+    def _op_release(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        lease = Lease.from_dict(dict(request["lease"]))
+        status = str(request["status"])
+        if status not in ("done", "failed"):
+            raise ValueError(f"invalid release status {status!r}")
+        self._touch_session(request.get("session"))
+        released = state.release(lease, status)
+        if released:
+            state.journal_event(
+                {
+                    "ev": "release",
+                    "key": lease.key,
+                    "token": lease.token,
+                    "status": status,
+                }
+            )
+        return {"released": released}
+
+    def _op_read_lease(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        self._touch_session(request.get("session"))
+        return {"lease": self._export_lease(state.read_lease(str(request["key"])))}
+
+    def _op_leases(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        self._touch_session(request.get("session"))
+        return {"leases": [self._export_lease(le) for le in state.leases()]}
+
+    def _op_heartbeat(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        session_id = _validate_id(str(request["session"]), "session id")
+        worker = _validate_id(str(request["worker"]), "worker id")
+        self._touch_session(session_id)
+        info = request.get("info") or {}
+        record = {
+            "worker": worker,
+            "pid": 0,
+            "pid_start": None,
+            "session": session_id,
+            "beat_unix": time.time(),
+            "alive": True,
+        }
+        if isinstance(info, dict):
+            record.update(info)
+        state.write_worker_record(worker, record)
+        return {}
+
+    def _op_workers(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        now = time.time()
+        records = []
+        for record in state.workers():
+            sid = record.get("session")
+            if isinstance(sid, str):
+                record["alive"] = not self._session_expired(sid) and (
+                    record.get("phase") != "exited"
+                )
+            beat = record.get("beat_unix")
+            if isinstance(beat, (int, float)):
+                record["beat_age_s"] = max(0.0, now - float(beat))
+            records.append(record)
+        return {"records": records}
+
+    def _op_claims(self, request: dict) -> dict:
+        return {"records": self._sweep_state(request).claims()}
+
+    def _op_rejections(self, request: dict) -> dict:
+        return {"records": self._sweep_state(request).rejections()}
+
+    def _op_record_rejection(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        self._touch_session(request.get("session"))
+        held = request.get("held_token")
+        current = request.get("current_token")
+        state.record_rejection(
+            str(request["key"]),
+            int(held) if held is not None else None,
+            int(current) if current is not None else None,
+            _validate_id(str(request["worker"]), "worker id"),
+        )
+        return {}
+
+    def _op_delete_sweep(self, request: dict) -> dict:
+        state = self._sweep_state(request)
+        state.delete()
+        self._states.pop(state.sweep, None)
+        return {}
+
+    def _op_status(self, request: dict) -> dict:
+        now = time.time()
+        sweeps = sorted(
+            set(self._states)
+            | {
+                grid.parent.relative_to(self.root).as_posix()
+                for grid in self.root.rglob("grid.json")
+            }
+            if self.root.is_dir()
+            else set(self._states)
+        )
+        return {
+            "addr": self.addr,
+            "uptime_s": (now - self.started_unix) if self.started_unix else 0.0,
+            "sweeps": sweeps,
+            "sessions": [
+                {
+                    "id": s.id,
+                    "client": s.client,
+                    "beat_age_s": max(0.0, now - s.last_beat),
+                    "expired": now > s.deadline,
+                }
+                for s in self.sessions.values()
+            ],
+        }
+
+
+# --------------------------------------------------------------------- #
+# client
+# --------------------------------------------------------------------- #
+class RemoteLeaseStore:
+    """:class:`LeaseStore`-compatible client for a :class:`FabricBroker`.
+
+    Implements the full store surface over the wire so the fabric's
+    worker/fence/coordinator machinery is transport-agnostic.  Every
+    RPC runs under ``rpc_timeout_s`` with decorrelated-jitter backoff
+    until ``retry_budget_s`` is spent; then the circuit breaker opens
+    and this store raises :class:`FabricTransportError` — immediately
+    for ``breaker_cooldown_s``, after which one half-open probe decides
+    whether to close the circuit again.  Fail-closed by construction:
+    no response, no write.
+    """
+
+    transport = "tcp"
+
+    def __init__(
+        self,
+        sweep: str,
+        addr: Optional[str] = None,
+        rpc_timeout_s: Optional[float] = None,
+        retry_budget_s: Optional[float] = None,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        breaker_cooldown_s: Optional[float] = None,
+        client_name: Optional[str] = None,
+        rng_seed: Optional[object] = None,
+    ) -> None:
+        self.sweep = validate_sweep_name(sweep)
+        addr = addr or os.environ.get("REPRO_FABRIC_ADDR")
+        if not addr:
+            raise ValueError(
+                "no broker address: pass addr or set REPRO_FABRIC_ADDR"
+            )
+        self.host, self.port = parse_addr(addr)
+        self.addr = f"{self.host}:{self.port}"
+        self.rpc_timeout_s = _env_float(
+            "REPRO_FABRIC_RPC_TIMEOUT_S", rpc_timeout_s, 5.0
+        )
+        self.retry_budget_s = _env_float(
+            "REPRO_FABRIC_RETRY_BUDGET_S", retry_budget_s, 10.0
+        )
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.breaker_cooldown_s = _env_float(
+            "REPRO_FABRIC_BREAKER_COOLDOWN_S", breaker_cooldown_s,
+            self.retry_budget_s,
+        )
+        self.client_name = client_name or f"{socket.gethostname()}:{os.getpid()}"
+        # Seeded per client identity: concurrent clients back off
+        # decorrelated from each other, tests stay reproducible.
+        self._rng = random.Random(
+            rng_seed if rng_seed is not None else f"{self.sweep}|{self.client_name}"
+        )
+        self._lock = threading.RLock()
+        self._sock: Optional[socket.socket] = None
+        self.session: Optional[str] = None
+        self._open_until = 0.0
+        self._was_tripped = False
+        #: purely informational parity with the fs store
+        self.root = None
+        self.dir = f"tcp://{self.addr}/{self.sweep}"
+        self.grid_path = f"{self.dir}/grid.json"
+
+    # ------------------------------------------------------------------ #
+    # transport core: deadline + decorrelated jitter + circuit breaker
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.rpc_timeout_s
+        )
+        sock.settimeout(self.rpc_timeout_s)
+        return sock
+
+    def _close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _attempt(self, op: str, payload: dict) -> dict:
+        if self._sock is None:
+            self._sock = self._connect()
+        sock = self._sock
+        if self.session is None and op != "hello":
+            send_frame(sock, {"op": "hello", "client": self.client_name})
+            hello = recv_frame(sock)
+            if not hello.get("ok") or not isinstance(hello.get("session"), str):
+                raise ProtocolError(f"broker refused hello: {hello!r}")
+            self.session = hello["session"]
+        frame = {"op": op, "sweep": self.sweep, "session": self.session}
+        frame.update(payload)
+        send_frame(sock, frame)
+        return recv_frame(sock)
+
+    def _rpc(self, op: str, **payload) -> dict:
+        with self._lock:
+            now = time.monotonic()
+            if now < self._open_until:
+                raise FabricTransportError(
+                    f"circuit open to broker {self.addr} "
+                    f"(retrying in {self._open_until - now:.1f}s)"
+                )
+            # Past the cooldown the first call is a half-open probe:
+            # exactly one attempt decides closed vs re-opened.
+            probing = self._was_tripped and self._open_until > 0.0
+            deadline = now + (0.0 if probing else self.retry_budget_s)
+            delay = self.backoff_base_s
+            while True:
+                try:
+                    response = self._attempt(op, payload)
+                    break
+                except (OSError, ConnectionError, ProtocolError) as exc:
+                    self._close()
+                    if time.monotonic() >= deadline:
+                        self._open_until = (
+                            time.monotonic() + self.breaker_cooldown_s
+                        )
+                        self._was_tripped = True
+                        raise FabricTransportError(
+                            f"broker {self.addr} unreachable "
+                            f"({type(exc).__name__}: {exc}); circuit open for "
+                            f"{self.breaker_cooldown_s:g}s"
+                        ) from exc
+                    # decorrelated jitter: uniform over [base, 3*prev]
+                    delay = min(
+                        self.backoff_cap_s,
+                        self._rng.uniform(
+                            self.backoff_base_s, max(self.backoff_base_s, 3 * delay)
+                        ),
+                    )
+                    time.sleep(
+                        max(0.0, min(delay, deadline - time.monotonic()))
+                    )
+            self._open_until = 0.0
+            self._was_tripped = False
+        if response.get("ok"):
+            return response
+        kind = response.get("kind")
+        if kind == "stale":
+            raise StaleFencingTokenError(
+                str(response.get("key", "")),
+                response.get("held_token"),
+                response.get("current_token"),
+                str(response.get("worker", "")),
+            )
+        if kind == "value":
+            raise ValueError(str(response.get("error", "broker rejected request")))
+        raise FabricTransportError(
+            f"broker {self.addr} error: {response.get('error', response)!r}"
+        )
+
+    def reachable(self, timeout_s: float = 1.0) -> bool:
+        """One cheap ping, no retries — for status displays only."""
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=timeout_s
+            ) as sock:
+                sock.settimeout(timeout_s)
+                send_frame(sock, {"op": "ping"})
+                return bool(recv_frame(sock).get("ok"))
+        except (OSError, ConnectionError, ProtocolError):
+            return False
+
+    def close(self) -> None:
+        with self._lock:
+            self._close()
+
+    # ------------------------------------------------------------------ #
+    # LeaseStore surface
+    # ------------------------------------------------------------------ #
+    @property
+    def exists(self) -> bool:
+        return bool(self._rpc("grid-exists")["exists"])
+
+    def init_grid(self, points, meta: Optional[dict] = None) -> List[str]:
+        entries = [
+            {
+                "app": p[0],
+                "scale": p[1],
+                "config": dataclasses.asdict(p[2]),
+            }
+            for p in points
+        ]
+        return list(self._rpc("grid-init", points=entries, meta=meta or {})["keys"])
+
+    def load_grid(self):
+        from repro.core.executor import Point
+        from repro.verify.artifacts import config_from_dict
+
+        out = []
+        for entry in self._rpc("grid-load")["points"]:
+            point = Point(
+                str(entry["app"]),
+                float(entry["scale"]),
+                config_from_dict(entry["config"]),
+            )
+            out.append((str(entry["key"]), point))
+        return out
+
+    def claim(
+        self,
+        key: str,
+        worker: str,
+        ttl_s: float,
+        session: Optional[str] = None,
+        session_expired: Optional[Callable[[str], bool]] = None,
+    ) -> Optional[Lease]:
+        # session/session_expired are broker-side concerns; the client's
+        # own session is attached to every frame automatically.
+        raw = self._rpc("claim", key=key, worker=worker, ttl_s=float(ttl_s))["lease"]
+        return Lease.from_dict(raw) if raw is not None else None
+
+    def renew(self, lease: Lease) -> Lease:
+        return Lease.from_dict(self._rpc("renew", lease=lease.to_dict())["lease"])
+
+    def release(self, lease: Lease, status: str) -> bool:
+        return bool(
+            self._rpc("release", lease=lease.to_dict(), status=status)["released"]
+        )
+
+    def read_lease(self, key: str) -> Optional[Lease]:
+        raw = self._rpc("read-lease", key=key)["lease"]
+        return Lease.from_dict(raw) if raw is not None else None
+
+    def current_token(self, key: str) -> Optional[int]:
+        lease = self.read_lease(key)
+        return lease.token if lease is not None else None
+
+    def leases(self) -> List[Lease]:
+        return [Lease.from_dict(raw) for raw in self._rpc("leases")["leases"]]
+
+    def heartbeat(self, worker: str, **info: object) -> None:
+        self._rpc("heartbeat", worker=worker, info=info)
+
+    def workers(self) -> List[dict]:
+        return list(self._rpc("workers")["records"])
+
+    def claims(self) -> List[dict]:
+        return list(self._rpc("claims")["records"])
+
+    def rejections(self) -> List[dict]:
+        return list(self._rpc("rejections")["records"])
+
+    def record_rejection(
+        self,
+        key: str,
+        held_token: Optional[int],
+        current_token: Optional[int],
+        worker: str,
+    ) -> None:
+        self._rpc(
+            "record-rejection",
+            key=key,
+            held_token=held_token,
+            current_token=current_token,
+            worker=worker,
+        )
+
+    def delete(self) -> None:
+        self._rpc("delete-sweep")
+
+    def broker_status(self) -> dict:
+        return self._rpc("status")
+
+
+def _env_float(name: str, override: Optional[float], default: float) -> float:
+    if override is not None:
+        return float(override)
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name}={raw!r} is not a number (seconds expected)"
+        ) from None
+
+
+def make_lease_store(
+    sweep: str, addr: Optional[str] = None, root=None, **client_kwargs
+):
+    """Transport selection: ``addr`` (or ``REPRO_FABRIC_ADDR``) -> TCP,
+    otherwise the filesystem store."""
+    addr = addr if addr is not None else os.environ.get("REPRO_FABRIC_ADDR")
+    if addr:
+        return RemoteLeaseStore(sweep, addr, **client_kwargs)
+    return LeaseStore(sweep, root=root)
+
+
+def query_broker(
+    addr: str, op: str = "status", timeout_s: float = 2.0, **payload
+) -> dict:
+    """One-shot RPC for status displays: no session, no retries."""
+    host, port = parse_addr(addr)
+    try:
+        with socket.create_connection((host, port), timeout=timeout_s) as sock:
+            sock.settimeout(timeout_s)
+            frame = {"op": op}
+            frame.update(payload)
+            send_frame(sock, frame)
+            response = recv_frame(sock)
+    except (OSError, ConnectionError) as exc:
+        raise FabricTransportError(
+            f"broker {addr} unreachable: {exc}"
+        ) from exc
+    if not response.get("ok"):
+        raise FabricTransportError(
+            f"broker {addr} error: {response.get('error', response)!r}"
+        )
+    return response
+
+
+def broker_marker(root=None) -> Optional[dict]:
+    """The ``broker.json`` advertisement under a fabric root, if any."""
+    try:
+        record = json.loads((fabric_root(root) / "broker.json").read_text())
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+# --------------------------------------------------------------------- #
+# chaos proxy
+# --------------------------------------------------------------------- #
+class ChaosProxy:
+    """Deterministic in-process TCP chaos proxy for broker traffic.
+
+    Modes (switch with :meth:`set_mode`; transitions are applied to new
+    *and* established connections, so a partition severs live sockets):
+
+    - ``forward``   — byte-for-byte relay (optionally delayed: seeded
+      jitter around ``delay_s``, deterministic per seed)
+    - ``drop``      — accept and immediately close (connection refused
+      as far as the protocol is concerned)
+    - ``blackhole`` — accept, swallow every byte, never respond (the
+      client burns its full RPC deadline)
+    - ``half_open`` — accept, relay one partial frame, then close (the
+      classic half-open TCP failure)
+
+    ``partition()`` / ``heal()`` wrap the blackhole mode and kill live
+    connections, emulating a network partition during lease renewal.
+    """
+
+    def __init__(
+        self,
+        target_addr: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: int = 0,
+        delay_s: float = 0.0,
+    ) -> None:
+        self.target_host, self.target_port = parse_addr(target_addr)
+        self.host = host
+        self.port = port
+        self.delay_s = float(delay_s)
+        self.mode = "forward"
+        self._rng = random.Random(seed)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self.accepted = 0
+
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(32)
+        listener.settimeout(0.1)
+        self.host, self.port = listener.getsockname()[:2]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self._kill_conns()
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in ("forward", "drop", "blackhole", "half_open"):
+            raise ValueError(f"unknown chaos mode {mode!r}")
+        self.mode = mode
+
+    def partition(self) -> None:
+        """Black-hole new traffic and sever established connections."""
+        self.set_mode("blackhole")
+        self._kill_conns()
+
+    def heal(self) -> None:
+        self.set_mode("forward")
+
+    def _kill_conns(self) -> None:
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._conns.append(sock)
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.accepted += 1
+            mode = self.mode
+            if mode == "drop":
+                client.close()
+                continue
+            self._track(client)
+            threading.Thread(
+                target=self._serve_conn,
+                args=(client, mode),
+                name=f"chaos-conn-{self.accepted}",
+                daemon=True,
+            ).start()
+
+    def _serve_conn(self, client: socket.socket, mode: str) -> None:
+        if mode == "blackhole":
+            try:
+                client.settimeout(None)
+                while client.recv(1 << 16):
+                    pass  # swallow; never respond
+            except OSError:
+                pass
+            finally:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+            return
+        try:
+            upstream = socket.create_connection(
+                (self.target_host, self.target_port), timeout=5.0
+            )
+        except OSError:
+            client.close()
+            return
+        self._track(upstream)
+        if mode == "half_open":
+            # Relay a few bytes of the first frame, then vanish: the
+            # peer is left holding a half-open conversation.
+            try:
+                chunk = client.recv(3)
+                if chunk:
+                    upstream.sendall(chunk)
+            except OSError:
+                pass
+            for sock in (client, upstream):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            return
+        for a, b, delayed in (
+            (client, upstream, True),
+            (upstream, client, False),
+        ):
+            threading.Thread(
+                target=self._pump,
+                args=(a, b, delayed),
+                name="chaos-pump",
+                daemon=True,
+            ).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket, delayed: bool):
+        try:
+            while True:
+                chunk = src.recv(1 << 16)
+                if not chunk:
+                    break
+                if delayed and self.delay_s > 0:
+                    # Seeded jitter in [0.5, 1.5] * delay_s: deterministic
+                    # per seed, decorrelated across chunks.
+                    time.sleep(self.delay_s * self._rng.uniform(0.5, 1.5))
+                dst.sendall(chunk)
+        except OSError:
+            pass
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass

@@ -37,6 +37,16 @@ try:  # POSIX only; degrade gracefully elsewhere
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+#: procfs mount point; tests monkeypatch this to simulate hosts without
+#: /proc (macOS, slim containers) where start-time identity degrades to
+#: TTL-only liveness in the fabric (never "holder assumed dead").
+PROC_ROOT = "/proc"
+
+
+def has_procfs() -> bool:
+    """Whether this host can resolve ``(pid, start time)`` identity."""
+    return process_start_time(os.getpid()) is not None
+
 
 class LockTimeout(TimeoutError):
     """The lock stayed held by a *live* process for the whole timeout."""
@@ -62,7 +72,7 @@ def process_start_time(pid: int) -> Optional[int]:
     a plain liveness check.
     """
     try:
-        with open(f"/proc/{pid}/stat", "rb") as fh:
+        with open(f"{PROC_ROOT}/{pid}/stat", "rb") as fh:
             raw = fh.read()
         fields = raw[raw.rindex(b")") + 2:].split()
         # fields[0] is stat field 3 (state); start time is field 22

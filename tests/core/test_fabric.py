@@ -121,6 +121,74 @@ def test_dead_holder_is_reclaimed_before_ttl(fresh):
     assert stolen is not None and stolen.prev_token == lease.token
 
 
+def test_no_procfs_degrades_to_ttl_only_liveness(fresh):
+    """A lease whose holder identity could not be recorded (no procfs:
+    ``pid_start is None``) must NOT be reclaimed early — a bare PID
+    probe could misread a recycled (or coincidentally free) PID.  The
+    lease is reclaimed by its TTL alone."""
+    store = LeaseStore("unit/no-procfs")
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=0.3)
+    # rewrite as a holder with a dead PID but an unknowable start time
+    unknowable = dataclasses.replace(lease, pid=2**22 - 3, pid_start=None)
+    store._atomic_write(
+        store._lease_path(key), json.dumps(unknowable.to_dict()) + "\n"
+    )
+    current = store.read_lease(key)
+    assert current.holder_alive(), "never assume dead on weak evidence"
+    assert not current.reclaimable()
+    assert store.claim(key, "w2", ttl_s=30) is None  # TTL still running
+    time.sleep(0.35)
+    stolen = store.claim(key, "w2", ttl_s=30)  # TTL expiry reclaims it
+    assert stolen is not None and stolen.stolen
+
+
+def test_session_lease_liveness_is_ttl_and_session_only(fresh):
+    """Broker-granted leases (remote holders) carry ``pid=0``/``session``:
+    local PID probes must not apply, and a broker-supplied session-expiry
+    predicate reclaims them before the lease TTL."""
+    store = LeaseStore("unit/session")
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=3600, session="s1-deadbeef")
+    assert lease.pid == 0 and lease.pid_start is None
+    assert lease.session == "s1-deadbeef"
+    assert lease.holder_alive() and not lease.reclaimable()
+    # another claimant is blocked while the session counts as live
+    assert store.claim(key, "w2", ttl_s=30) is None
+    assert (
+        store.claim(key, "w2", ttl_s=30, session_expired=lambda sid: False)
+        is None
+    )
+    # ...and steals the lease once the broker says the session died
+    stolen = store.claim(
+        key, "w2", ttl_s=30, session="s2-cafe", session_expired=lambda sid: True
+    )
+    assert stolen is not None and stolen.stolen
+    assert stolen.prev_token == lease.token
+    claims = store.claims()
+    assert claims[-1]["session"] == "s2-cafe"
+
+
+def test_resolve_ttl_bounds_and_env(fresh, monkeypatch):
+    from repro.core.fabric import DEFAULT_TTL_S, MAX_TTL_S, resolve_ttl
+
+    assert resolve_ttl(None) == DEFAULT_TTL_S
+    assert resolve_ttl(5.0) == 5.0
+    monkeypatch.setenv("REPRO_FABRIC_TTL_S", "12.5")
+    assert resolve_ttl(None) == 12.5
+    assert resolve_ttl(7.0) == 7.0  # explicit arg beats the env
+    with pytest.raises(ValueError, match="REPRO_FABRIC_TTL_S"):
+        monkeypatch.setenv("REPRO_FABRIC_TTL_S", "not-a-number")
+        resolve_ttl(None)
+    monkeypatch.delenv("REPRO_FABRIC_TTL_S")
+    with pytest.raises(ValueError, match="outside"):
+        resolve_ttl(0.01)  # below 3 heartbeat intervals
+    with pytest.raises(ValueError, match="outside"):
+        resolve_ttl(MAX_TTL_S * 2)
+    with pytest.raises(ValueError, match="--ttl"):
+        resolve_ttl(-1.0)
+
+
 def test_renew_after_supersede_raises_stale_token(fresh):
     store = LeaseStore("unit/renew-stale")
     (key,) = store.init_grid(_points(1))

@@ -1,0 +1,412 @@
+"""Fabric TCP transport: broker, remote store, retry/backoff, degradation.
+
+In-process coverage of :mod:`repro.core.fabric_net` — framing, the full
+``LeaseStore`` surface over the wire, session-based liveness, the
+retry/backoff + circuit-breaker client, broker crash recovery from its
+append-only mint journal, and the coordinator's tcp→fs degradation.
+Multi-process kill/stop/partition scenarios live in
+``test_fabric_net_chaos.py``.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import runcache
+from repro.core.config import ClusterConfig
+from repro.core.executor import Point
+from repro.core.fabric import (
+    FabricCoordinator,
+    FabricTransportError,
+    FabricWorker,
+    LeaseStore,
+    StaleFencingTokenError,
+    sweep_status,
+)
+from repro.core.fabric_net import (
+    ChaosProxy,
+    FabricBroker,
+    RemoteLeaseStore,
+    make_lease_store,
+    parse_addr,
+    query_broker,
+    recv_frame,
+    send_frame,
+)
+from repro.core.sweeps import clear_caches
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def fresh(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "cp"))
+    monkeypatch.setenv("REPRO_FABRIC_DIR", str(tmp_path / "fabric"))
+    monkeypatch.delenv("REPRO_FABRIC_ADDR", raising=False)
+    runcache.reset_disk_cache()
+    clear_caches()
+    yield tmp_path
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+@pytest.fixture
+def broker(fresh):
+    b = FabricBroker(port=0).start()
+    yield b
+    b.stop()
+
+
+def _client(broker_or_addr, sweep="net/unit", **kw):
+    addr = getattr(broker_or_addr, "addr", broker_or_addr)
+    kw.setdefault("rpc_timeout_s", 2.0)
+    kw.setdefault("retry_budget_s", 2.0)
+    kw.setdefault("backoff_base_s", 0.01)
+    kw.setdefault("breaker_cooldown_s", 0.2)
+    return RemoteLeaseStore(sweep, addr, **kw)
+
+
+def _points(n=2):
+    base = ClusterConfig()
+    apps = ["fft", "lu", "radix", "ocean"]
+    return [Point(apps[i % len(apps)], SCALE, base) for i in range(n)]
+
+
+# --------------------------------------------------------------------- #
+# framing + addresses
+# --------------------------------------------------------------------- #
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        payload = {"op": "ping", "nested": {"x": [1, 2, 3]}, "s": "é"}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+    finally:
+        a.close()
+        b.close()
+
+
+def test_oversized_announced_frame_rejected():
+    from repro.core.fabric_net import MAX_FRAME_BYTES, ProtocolError, _LEN
+
+    a, b = socket.socketpair()
+    try:
+        a.sendall(_LEN.pack(MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="oversized"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_parse_addr():
+    assert parse_addr("10.0.0.7:7341") == ("10.0.0.7", 7341)
+    assert parse_addr(":7341") == ("127.0.0.1", 7341)
+    assert parse_addr("7341") == ("127.0.0.1", 7341)
+    with pytest.raises(ValueError, match="HOST:PORT"):
+        parse_addr("nonsense:port")
+    with pytest.raises(ValueError, match="0..65535"):
+        parse_addr("host:70000")
+
+
+# --------------------------------------------------------------------- #
+# LeaseStore surface over the wire
+# --------------------------------------------------------------------- #
+def test_grid_roundtrip_over_tcp(broker):
+    store = _client(broker)
+    assert not store.exists
+    keys = store.init_grid(_points(2))
+    assert len(keys) == 2 and store.exists
+    assert store.init_grid(_points(2)) == keys  # idempotent re-init
+    loaded = store.load_grid()
+    assert [k for k, _ in loaded] == keys
+    assert loaded[0][1].app == "fft"
+    assert loaded[0][1].config == ClusterConfig()
+    # a different grid under the same name is refused, over the wire
+    with pytest.raises(ValueError, match="different"):
+        store.init_grid(_points(3))
+    # ...and the broker mirrors the grid to its filesystem store
+    assert LeaseStore("net/unit").exists
+
+
+def test_claim_renew_release_lifecycle_over_tcp(broker):
+    store = _client(broker)
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=30)
+    assert lease is not None and lease.token == 1 and not lease.stolen
+    assert lease.session == store.session  # broker-minted session id
+    assert lease.pid == 0 and lease.pid_start is None
+    assert store.claim(key, "w2", ttl_s=30) is None  # held
+    renewed = store.renew(lease)
+    assert renewed.expires_unix >= lease.expires_unix
+    assert store.release(renewed, "done")
+    assert store.read_lease(key).status == "done"
+    assert store.current_token(key) == lease.token
+    assert [le.key for le in store.leases()] == [key]
+
+
+def test_stale_renew_raises_over_the_wire(broker):
+    store = _client(broker)
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=0.01)
+    time.sleep(0.05)
+    stolen = store.claim(key, "w2", ttl_s=30)
+    assert stolen is not None and stolen.stolen
+    assert stolen.token > lease.token
+    with pytest.raises(StaleFencingTokenError) as exc:
+        store.renew(lease)
+    assert exc.value.held_token == lease.token
+    assert exc.value.current_token == stolen.token
+    assert not store.release(lease, "done")  # stale release: no-op
+
+
+def test_heartbeat_workers_and_rejections_over_tcp(broker):
+    store = _client(broker)
+    store.init_grid(_points(1))
+    store.heartbeat("w1", phase="start")
+    (record,) = store.workers()
+    assert record["worker"] == "w1"
+    assert record["session"] == store.session
+    assert record["alive"] is True
+    assert record["beat_age_s"] < 5.0
+    store.record_rejection("deadbeef", 1, 2, "w1")
+    (rej,) = store.rejections()
+    assert rej["held_token"] == 1 and rej["current_token"] == 2
+    assert len(store.claims()) == 0
+
+
+def test_hostile_worker_id_rejected(broker):
+    store = _client(broker)
+    store.init_grid(_points(1))
+    with pytest.raises(ValueError, match="worker id"):
+        store.heartbeat("../escape", phase="start")
+
+
+# --------------------------------------------------------------------- #
+# session liveness
+# --------------------------------------------------------------------- #
+def test_quiet_session_lease_is_stolen_before_its_ttl(fresh):
+    """A silent session (two missed heartbeats = 2/3 of the lease TTL)
+    loses its lease *before* the lease's own TTL runs out."""
+    broker = FabricBroker(port=0, session_ttl_s=0.3).start()
+    try:
+        holder = _client(broker)
+        (key,) = holder.init_grid(_points(1))
+        lease = holder.claim(key, "w1", ttl_s=1.8)  # session TTL -> 1.2s
+        assert lease is not None
+        time.sleep(1.4)  # silent past the session TTL, inside the lease TTL
+        assert time.time() < lease.expires_unix, "lease must still be live"
+        thief = _client(broker)
+        # the exported lease already reads as expired for remote scans
+        assert thief.read_lease(key).reclaimable()
+        stolen = thief.claim(key, "w2", ttl_s=30)
+        assert stolen is not None and stolen.stolen
+        assert stolen.prev_token == lease.token
+        # the old holder's late write is fenced, not accepted
+        with pytest.raises(StaleFencingTokenError):
+            holder.renew(lease)
+    finally:
+        broker.stop()
+
+
+def test_active_session_with_long_ttl_is_not_stolen(fresh):
+    """Claims stretch the session TTL to the lease TTL: a long-lease
+    holder heartbeating at ttl/3 must never read as session-dead."""
+    broker = FabricBroker(port=0, session_ttl_s=0.2).start()
+    try:
+        holder = _client(broker)
+        (key,) = holder.init_grid(_points(1))
+        assert holder.claim(key, "w1", ttl_s=30) is not None
+        time.sleep(0.4)  # longer than the session TTL, shorter than lease
+        thief = _client(broker)
+        assert not thief.read_lease(key).reclaimable()
+        assert thief.claim(key, "w2", ttl_s=30) is None
+    finally:
+        broker.stop()
+
+
+# --------------------------------------------------------------------- #
+# retry / backoff / circuit breaker
+# --------------------------------------------------------------------- #
+def test_rpc_retries_through_transient_connection_drops(broker):
+    proxy = ChaosProxy(broker.addr, seed=7).start()
+    try:
+        store = _client(proxy.addr, retry_budget_s=5.0)
+        keys = store.init_grid(_points(1))
+        proxy.set_mode("drop")  # refuse every new connection for a while
+        store.close()  # force the next RPC to reconnect through the proxy
+
+        def heal():
+            time.sleep(0.4)
+            proxy.heal()
+
+        healer = threading.Thread(target=heal)
+        healer.start()
+        lease = store.claim(keys[0], "w1", ttl_s=30)  # survives via retries
+        healer.join()
+        assert lease is not None
+    finally:
+        proxy.stop()
+
+
+def test_blackhole_opens_breaker_then_half_open_probe_recovers(broker):
+    proxy = ChaosProxy(broker.addr, seed=7).start()
+    try:
+        store = _client(
+            proxy.addr,
+            rpc_timeout_s=0.3,
+            retry_budget_s=0.5,
+            breaker_cooldown_s=0.2,
+        )
+        keys = store.init_grid(_points(1))
+        proxy.partition()  # blackhole + sever the live connection
+        with pytest.raises(FabricTransportError, match="unreachable"):
+            store.read_lease(keys[0])
+        # breaker open: the next call fails fast, without burning budget
+        t0 = time.monotonic()
+        with pytest.raises(FabricTransportError, match="circuit open"):
+            store.read_lease(keys[0])
+        assert time.monotonic() - t0 < 0.1
+        # heal; after the cooldown one half-open probe closes the circuit
+        proxy.heal()
+        time.sleep(0.25)
+        assert store.read_lease(keys[0]) is None
+    finally:
+        proxy.stop()
+
+
+def test_worker_drains_cleanly_when_broker_vanishes(fresh):
+    broker = FabricBroker(port=0).start()
+    store = _client(broker, sweep="net/drain")
+    store.init_grid(_points(2))
+    broker.stop()
+    worker = FabricWorker("net/drain", worker_id="w1", ttl_s=5.0, store=store)
+    stats = worker.run()  # must return, not hang or raise
+    assert stats["broker_lost"] == 1
+    assert stats["computed"] == 0
+
+
+# --------------------------------------------------------------------- #
+# broker crash recovery: the mint journal
+# --------------------------------------------------------------------- #
+def test_broker_restart_never_reissues_a_minted_token(fresh):
+    broker = FabricBroker(port=0).start()
+    store = _client(broker, sweep="net/mint")
+    keys = store.init_grid(_points(2))
+    le1 = store.claim(keys[0], "w1", ttl_s=0.01)
+    time.sleep(0.05)
+    le2 = store.claim(keys[0], "w1", ttl_s=30)  # steal: mints again
+    port = broker.port
+    broker.stop()
+
+    journal = broker.root / "net/mint" / "broker.jsonl"
+    mints = [
+        json.loads(line)["token"]
+        for line in journal.read_text().splitlines()
+        if json.loads(line).get("ev") == "mint"
+    ]
+    assert mints == [le1.token, le2.token]
+    # simulate losing the fence counter in the crash: only the journal
+    # remembers what was handed out
+    (broker.root / "net/mint" / "fence.json").unlink()
+
+    broker2 = FabricBroker(port=port).start()
+    try:
+        store2 = _client(broker2, sweep="net/mint")
+        le3 = store2.claim(keys[1], "w2", ttl_s=30)
+        assert le3.token > max(mints), "a journaled token was reissued"
+        # the pre-crash lease state survived (mirrored to the fs store)
+        assert store2.read_lease(keys[0]).token == le2.token
+    finally:
+        broker2.stop()
+
+
+def test_recover_is_idempotent_when_fence_is_intact(fresh):
+    broker = FabricBroker(port=0).start()
+    store = _client(broker, sweep="net/recover")
+    (key,) = store.init_grid(_points(1))
+    lease = store.claim(key, "w1", ttl_s=30)
+    port = broker.port
+    broker.stop()
+    broker2 = FabricBroker(port=port).start()
+    try:
+        store2 = _client(broker2, sweep="net/recover")
+        time.sleep(0.0)
+        # the held lease is intact and the next mint continues the count
+        assert store2.read_lease(key).token == lease.token
+        le2 = store2.claim(key, "w2", ttl_s=30)
+        assert le2 is None  # still held: sessions unknown post-restart
+    finally:
+        broker2.stop()
+
+
+# --------------------------------------------------------------------- #
+# factory, env config, status plumbing
+# --------------------------------------------------------------------- #
+def test_make_lease_store_selects_transport(fresh, monkeypatch):
+    assert make_lease_store("net/fac").transport == "fs"
+    assert make_lease_store("net/fac", addr="127.0.0.1:7341").transport == "tcp"
+    monkeypatch.setenv("REPRO_FABRIC_ADDR", "127.0.0.1:7341")
+    store = make_lease_store("net/fac")
+    assert store.transport == "tcp" and store.addr == "127.0.0.1:7341"
+
+
+def test_client_env_overrides_must_be_numbers(fresh, monkeypatch):
+    monkeypatch.setenv("REPRO_FABRIC_RETRY_BUDGET_S", "soon")
+    with pytest.raises(ValueError, match="REPRO_FABRIC_RETRY_BUDGET_S"):
+        RemoteLeaseStore("net/env", "127.0.0.1:7341")
+
+
+def test_sweep_status_reports_tcp_transport_and_broker(broker):
+    store = _client(broker, sweep="net/status")
+    keys = store.init_grid(_points(2))
+    store.claim(keys[0], "w1", ttl_s=30)
+    store.heartbeat("w1", phase="start")
+    st = sweep_status(store)
+    assert st["transport"] == "tcp"
+    assert st["broker"] == broker.addr
+    assert st["leased"] == 1 and st["unclaimed"] == 1
+    assert st["workers_alive"] == 1
+    assert st["broker_orphaned"] == 0
+    status = query_broker(broker.addr)
+    assert "net/status" in status["sweeps"]
+    assert any(not s["expired"] for s in status["sessions"])
+
+
+def test_broker_orphans_counted_when_session_dies(fresh):
+    broker = FabricBroker(port=0, session_ttl_s=0.2).start()
+    try:
+        store = _client(broker, sweep="net/orphan")
+        keys = store.init_grid(_points(2))
+        store.claim(keys[0], "w1", ttl_s=1.8)  # session TTL -> 1.2s
+        time.sleep(1.4)  # session silence -> broker-orphaned lease
+        observer = _client(broker, sweep="net/orphan")
+        st = sweep_status(observer)
+        assert st["orphaned"] == 1
+        assert st["broker_orphaned"] == 1
+    finally:
+        broker.stop()
+
+
+def test_coordinator_degrades_to_fs_when_broker_unreachable(fresh, capsys):
+    store = RemoteLeaseStore(
+        "net/degrade",
+        "127.0.0.1:1",  # nothing listens on port 1
+        rpc_timeout_s=0.2,
+        retry_budget_s=0.2,
+        breaker_cooldown_s=0.2,
+    )
+    coordinator = FabricCoordinator(
+        "net/degrade", _points(1), n_workers=0, ttl_s=30.0, store=store
+    )
+    summary = coordinator.run()
+    out = capsys.readouterr().out
+    assert "broker unreachable" in out and "filesystem lease store" in out
+    assert summary["degraded"] == "fs"
+    assert summary["transport"] == "fs"
+    assert not summary["failures"]
+    assert coordinator.store.transport == "fs"

@@ -1,0 +1,412 @@
+"""Network-fabric chaos tests: broker crashes, frozen workers, partitions.
+
+The multi-machine acceptance scenarios for the TCP lease broker:
+
+* **Broker SIGKILL + restart** — workers ride out the outage on their
+  retry budget, the restarted broker recovers fencing state from its
+  append-only journal and never reissues a token, and the finished
+  sweep is byte-identical to a serial run.
+* **SIGSTOP a remote worker past its lease TTL** — the survivor steals
+  the expired lease exactly once; the resurrected worker's stale write
+  is rejected (durable ``rejections.jsonl``), never accepted.
+* **Partition during renewal** — a chaos proxy black-holes one worker's
+  link mid-lease; after the lease is stolen and the partition heals,
+  the partitioned worker's write attempt is fenced, not accepted.
+
+Every scenario ends with the byte-identity oracle: merged results must
+equal a plain serial run of the same grid in a pristine cache.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import runcache
+from repro.core.checkpoint import SweepCheckpoint
+from repro.core.config import ClusterConfig
+from repro.core.executor import Point, PointFailure, run_points
+from repro.core.fabric import fabric_root
+from repro.core.fabric_net import ChaosProxy, FabricBroker, RemoteLeaseStore
+from repro.core.sweeps import clear_caches
+
+SCALE = 0.05
+TTL_S = 2.0
+DEADLINE_S = 120.0
+
+# Broker child: a SIGKILL-able broker process.  Prints its concrete
+# address once listening, then parks forever (the test kills it).
+BROKER_CHILD = r"""
+import sys, threading
+from repro.core.fabric_net import FabricBroker
+
+broker = FabricBroker(host="127.0.0.1", port=int(sys.argv[1])).start()
+print("ADDR " + broker.addr, flush=True)
+threading.Event().wait()
+"""
+
+# Worker child: join the sweep over TCP (REPRO_FABRIC_ADDR), print
+# final stats as a parseable line.
+WORKER_CHILD = r"""
+import json, sys
+from repro.core.fabric import FabricWorker
+from repro.core.fabric_net import make_lease_store
+
+sweep, wid, ttl = sys.argv[1], sys.argv[2], float(sys.argv[3])
+store = make_lease_store(sweep)
+stats = FabricWorker(sweep, worker_id=wid, ttl_s=ttl, store=store).run()
+store.close()
+print("STATS " + json.dumps(stats), flush=True)
+"""
+
+
+def _grid():
+    base = ClusterConfig()
+    return [
+        Point("lu", SCALE, base.with_comm(interrupt_cost=500 + 100 * i))
+        for i in range(6)
+    ]
+
+
+def _canonical(results):
+    assert not any(isinstance(r, PointFailure) for r in results)
+    return json.dumps(
+        [dataclasses.asdict(r) for r in results],
+        sort_keys=True,
+        default=repr,
+    ).encode("utf-8")
+
+
+def _use_dirs(monkeypatch, tmp_path, tag):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / tag / "cache"))
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / tag / "cp"))
+    monkeypatch.setenv("REPRO_FABRIC_DIR", str(tmp_path / tag / "fabric"))
+    monkeypatch.delenv("REPRO_CHAOS_POINT_DELAY_S", raising=False)
+    monkeypatch.delenv("REPRO_FABRIC_ADDR", raising=False)
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+def _spawn_broker(port):
+    proc = subprocess.Popen(
+        [sys.executable, "-c", BROKER_CHILD, str(port)],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline().strip()
+    assert line.startswith("ADDR "), f"broker child said {line!r}"
+    return proc, line[len("ADDR "):]
+
+
+def _spawn_worker(sweep, worker_id, addr, point_delay_s, **env_overrides):
+    env = dict(
+        os.environ,
+        REPRO_FABRIC_ADDR=addr,
+        REPRO_CHAOS_POINT_DELAY_S=str(point_delay_s),
+    )
+    env.update({k: str(v) for k, v in env_overrides.items()})
+    return subprocess.Popen(
+        [sys.executable, "-c", WORKER_CHILD, sweep, worker_id, str(TTL_S)],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for(predicate, what, deadline_s=DEADLINE_S):
+    t0 = time.time()
+    while time.time() - t0 < deadline_s:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"timed out after {deadline_s:g}s waiting for {what}")
+
+
+def _worker_stats(proc, deadline_s=60.0):
+    out, _ = proc.communicate(timeout=deadline_s)
+    for line in out.splitlines():
+        if line.startswith("STATS "):
+            return json.loads(line[len("STATS "):])
+    pytest.fail(f"worker printed no stats line; stdout was: {out!r}")
+
+
+def _client(sweep, addr):
+    return RemoteLeaseStore(
+        sweep, addr, rpc_timeout_s=2.0, retry_budget_s=2.0,
+        backoff_base_s=0.01, client_name="observer",
+    )
+
+
+def _assert_exactly_once_and_identical(store, sweep, keys, points, baseline):
+    """Shared tail oracle: journal exactly-once, tokens current,
+    merged results byte-identical to the serial baseline."""
+    cp = SweepCheckpoint(sweep)
+    cp.refresh()
+    by_key = {}
+    for rec in cp.load():
+        if rec["status"] == "done":
+            by_key.setdefault(rec["key"], []).append(rec)
+    assert set(by_key) == keys
+    for key, recs in by_key.items():
+        assert len(recs) == 1, f"point {key[:12]} journaled done twice"
+        assert recs[0]["token"] == store.read_lease(key).token
+    clear_caches()  # force the merge to come from the fabric's disk cache
+    assert _canonical(run_points(points, jobs=1)) == baseline
+
+
+@pytest.fixture
+def chaos_env(tmp_path, monkeypatch):
+    yield tmp_path, monkeypatch
+    runcache.reset_disk_cache()
+    clear_caches()
+
+
+# --------------------------------------------------------------------- #
+# scenario 1: broker SIGKILLed mid-sweep, restarted from its journal
+# --------------------------------------------------------------------- #
+def test_broker_sigkill_restart_never_reissues_tokens(chaos_env):
+    tmp_path, monkeypatch = chaos_env
+    sweep = "netchaos/broker-kill"
+    points = _grid()
+
+    _use_dirs(monkeypatch, tmp_path, "serial")
+    baseline = _canonical(run_points(points, jobs=1))
+    clear_caches()
+
+    _use_dirs(monkeypatch, tmp_path, "fabric")
+    broker_proc, addr = _spawn_broker(0)
+    port = int(addr.rsplit(":", 1)[1])
+    store = _client(sweep, addr)
+    keys = set(store.init_grid(points))
+    assert len(keys) == 6
+
+    workers = {
+        wid: _spawn_worker(
+            sweep, wid, addr, point_delay_s=0.7,
+            # generous budget: workers must ride out the restart window
+            REPRO_FABRIC_RETRY_BUDGET_S=20, REPRO_FABRIC_RPC_TIMEOUT_S=2,
+        )
+        for wid in ("w1", "w2")
+    }
+    try:
+        def claimed(wid):
+            return any(c["worker"] == wid for c in store.claims())
+
+        _wait_for(lambda: claimed("w1") and claimed("w2"),
+                  "both workers to claim leases")
+        store.close()
+        time.sleep(0.2)  # land the kill mid-point, mid-protocol
+        broker_proc.kill()
+        broker_proc.wait()
+        time.sleep(0.5)  # a real outage: clients must retry, not die
+        broker_proc, addr2 = _spawn_broker(port)
+        assert addr2 == addr, "restart must reuse the advertised port"
+
+        cp = SweepCheckpoint(sweep)
+
+        def all_done():
+            cp.refresh()
+            return keys <= cp.completed_keys()
+
+        _wait_for(all_done, "all 6 points to be journaled done")
+        stats = {wid: _worker_stats(proc) for wid, proc in workers.items()}
+
+        # neither worker drained: the outage stayed inside the retry budget
+        assert all("broker_lost" not in s for s in stats.values()), stats
+        assert sum(s["computed"] for s in stats.values()) >= 6
+
+        # the journal spans both incarnations with strictly increasing,
+        # never-reissued mint events
+        journal = fabric_root() / sweep / "broker.jsonl"
+        mints = [
+            rec["token"]
+            for rec in map(json.loads, journal.read_text().splitlines())
+            if rec.get("ev") == "mint"
+        ]
+        assert mints == sorted(mints), "mint tokens must be monotonic"
+        assert len(mints) == len(set(mints)), "a fencing token was reissued"
+
+        store = _client(sweep, addr)
+        claim_tokens = [c["token"] for c in store.claims()]
+        assert len(claim_tokens) == len(set(claim_tokens))
+        _assert_exactly_once_and_identical(store, sweep, keys, points, baseline)
+        store.close()
+    finally:
+        for proc in workers.values():
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        if broker_proc.poll() is None:
+            broker_proc.kill()
+            broker_proc.wait()
+
+
+# --------------------------------------------------------------------- #
+# scenario 2: remote worker SIGSTOPped past its lease TTL
+# --------------------------------------------------------------------- #
+def test_sigstop_remote_worker_stolen_once_and_fenced(chaos_env):
+    tmp_path, monkeypatch = chaos_env
+    sweep = "netchaos/sigstop"
+    points = _grid()
+
+    _use_dirs(monkeypatch, tmp_path, "serial")
+    baseline = _canonical(run_points(points, jobs=1))
+    clear_caches()
+
+    _use_dirs(monkeypatch, tmp_path, "fabric")
+    broker = FabricBroker(port=0).start()
+    store = _client(sweep, broker.addr)
+    keys = set(store.init_grid(points))
+
+    workers = {
+        wid: _spawn_worker(sweep, wid, broker.addr, point_delay_s=0.7)
+        for wid in ("w1", "w2")
+    }
+    stopped = None
+    try:
+        _wait_for(
+            lambda: any(c["worker"] == "w1" for c in store.claims()),
+            "w1 to claim a lease",
+        )
+        time.sleep(0.2)  # freeze mid-point, not between points
+        os.kill(workers["w1"].pid, signal.SIGSTOP)
+        stopped = workers["w1"]
+        w1_keys = {
+            lease.key
+            for lease in store.leases()
+            if lease.worker == "w1" and lease.status == "held"
+        }
+        assert w1_keys, "stopped worker should hold at least one lease"
+
+        cp = SweepCheckpoint(sweep)
+
+        def all_done():
+            cp.refresh()
+            return keys <= cp.completed_keys()
+
+        _wait_for(all_done, "all 6 points to be journaled done")
+        assert cp.failed_keys() == set()
+
+        # resurrect w1 *after* its point was re-done under a newer token
+        os.kill(stopped.pid, signal.SIGCONT)
+        stopped = None
+        w1_stats = _worker_stats(workers["w1"])
+        w2_stats = _worker_stats(workers["w2"])
+
+        steals = [c for c in store.claims() if c["reason"] == "steal"]
+        steals_per_key = {}
+        for c in steals:
+            steals_per_key[c["key"]] = steals_per_key.get(c["key"], 0) + 1
+        assert w1_keys <= set(steals_per_key), "expired lease never stolen"
+        assert all(n == 1 for n in steals_per_key.values()), (
+            f"a lease was reclaimed more than once: {steals_per_key}"
+        )
+
+        rejections = store.rejections()
+        assert rejections, "the resurrected worker's write must be rejected"
+        assert all(r["worker"] == "w1" for r in rejections)
+        assert all(r["current_token"] > r["held_token"] for r in rejections)
+        assert w1_stats["rejected"] == len(rejections) > 0
+        assert w2_stats["rejected"] == 0
+        # the rejection log is durable on the broker's disk, not just RAM
+        assert (fabric_root() / sweep / "rejections.jsonl").is_file()
+
+        _assert_exactly_once_and_identical(store, sweep, keys, points, baseline)
+    finally:
+        if stopped is not None:
+            os.kill(stopped.pid, signal.SIGCONT)
+        for proc in workers.values():
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        store.close()
+        broker.stop()
+
+
+# --------------------------------------------------------------------- #
+# scenario 3: network partition during renewal, healed after the steal
+# --------------------------------------------------------------------- #
+def test_partition_during_renewal_write_is_fenced_after_heal(chaos_env):
+    tmp_path, monkeypatch = chaos_env
+    sweep = "netchaos/partition"
+    points = _grid()
+
+    _use_dirs(monkeypatch, tmp_path, "serial")
+    baseline = _canonical(run_points(points, jobs=1))
+    clear_caches()
+
+    _use_dirs(monkeypatch, tmp_path, "fabric")
+    broker = FabricBroker(port=0).start()
+    proxy = ChaosProxy(broker.addr, seed=7).start()
+    store = _client(sweep, broker.addr)
+    keys = set(store.init_grid(points))
+
+    # w1 talks through the proxy with a slow point and a patient budget;
+    # w2 talks straight to the broker and computes fast.
+    w1 = _spawn_worker(
+        sweep, "w1", proxy.addr, point_delay_s=3.0,
+        REPRO_FABRIC_RPC_TIMEOUT_S=0.5, REPRO_FABRIC_RETRY_BUDGET_S=8,
+    )
+    w2 = None
+    try:
+        _wait_for(
+            lambda: any(c["worker"] == "w1" for c in store.claims()),
+            "w1 to claim a lease through the proxy",
+        )
+        w1_keys = {
+            lease.key
+            for lease in store.leases()
+            if lease.worker == "w1" and lease.status == "held"
+        }
+        assert w1_keys
+        proxy.partition()  # black-hole w1 mid-lease, mid-compute
+
+        w2 = _spawn_worker(sweep, "w2", broker.addr, point_delay_s=0.1)
+
+        def w1_lease_stolen():
+            return any(
+                c["reason"] == "steal" and c["key"] in w1_keys
+                for c in store.claims()
+            )
+
+        _wait_for(w1_lease_stolen, "w2 to steal the partitioned lease")
+        proxy.heal()  # w1's pending write now races a superseded token
+
+        cp = SweepCheckpoint(sweep)
+
+        def all_done():
+            cp.refresh()
+            return keys <= cp.completed_keys()
+
+        _wait_for(all_done, "all 6 points to be journaled done")
+        w1_stats = _worker_stats(w1)
+        w2_stats = _worker_stats(w2)
+
+        rejections = store.rejections()
+        assert rejections, "the partitioned worker's write must be rejected"
+        assert all(r["worker"] == "w1" for r in rejections)
+        assert w1_stats["rejected"] == len(rejections) > 0
+        assert w2_stats["rejected"] == 0
+
+        steals = [c for c in store.claims() if c["reason"] == "steal"]
+        steals_per_key = {}
+        for c in steals:
+            steals_per_key[c["key"]] = steals_per_key.get(c["key"], 0) + 1
+        assert all(n == 1 for n in steals_per_key.values()), (
+            f"a lease was reclaimed more than once: {steals_per_key}"
+        )
+
+        _assert_exactly_once_and_identical(store, sweep, keys, points, baseline)
+    finally:
+        for proc in (w1, w2):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        store.close()
+        proxy.stop()
+        broker.stop()

@@ -84,6 +84,39 @@ def test_lock_holder_garbage_file(tmp_path):
     assert fslock.lock_holder(tmp_path / "absent") is None
 
 
+# --------------------------------------------------------------------- #
+# no-procfs hosts (macOS, slim containers): degrade, never assume dead
+# --------------------------------------------------------------------- #
+def test_no_procfs_start_time_is_none(tmp_path, monkeypatch):
+    """With /proc gone, identity degrades to ``(pid, None)``."""
+    monkeypatch.setattr(fslock, "PROC_ROOT", str(tmp_path / "no-proc"))
+    assert fslock.process_start_time(os.getpid()) is None
+    assert not fslock.has_procfs()
+    pid, start = fslock.process_identity()
+    assert pid == os.getpid() and start is None
+
+
+def test_no_procfs_liveness_falls_back_to_existence(tmp_path, monkeypatch):
+    """Without procfs a recorded start time cannot be compared: a live
+    PID must still count as alive (never 'holder assumed dead')."""
+    monkeypatch.setattr(fslock, "PROC_ROOT", str(tmp_path / "no-proc"))
+    # live pid, recorded start unverifiable -> alive
+    assert fslock.is_process_alive(os.getpid(), 12345)
+    # live pid, no recorded start -> alive
+    assert fslock.is_process_alive(os.getpid(), None)
+    # genuinely absent pid -> dead (existence check still works)
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    assert not fslock.is_process_alive(proc.pid, None)
+
+
+def test_no_procfs_lock_holder_still_reports_live_pid(tmp_path, monkeypatch):
+    monkeypatch.setattr(fslock, "PROC_ROOT", str(tmp_path / "no-proc"))
+    path = tmp_path / ".lock"
+    path.write_text(f"{os.getpid()} 424242\n")
+    assert fslock.lock_holder(path) == os.getpid()
+
+
 def test_file_lock_mutual_exclusion_still_works(tmp_path):
     """The identity stamp must not break basic lock semantics."""
     path = tmp_path / ".lock"
