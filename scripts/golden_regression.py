@@ -65,6 +65,15 @@ def grid_points(perturb: int = 0):
                 cfg = base.replace(protocol=proto, faults=faults)
                 tag = f"{app}/{proto}/{'faulty' if faults.enabled else 'clean'}"
                 yield tag, app, cfg
+    # The collectives subsystem's default must be invisible: an explicit
+    # collective="flat" is dataclass-equal to the default config, so this
+    # point's digest must be byte-identical to fft/hlrc/clean — check()
+    # cross-checks that, proving the default path never moved.
+    yield (
+        "fft/hlrc/flat-collective",
+        "fft",
+        base.replace(protocol="hlrc", collective="flat"),
+    )
 
 
 def observe(result) -> dict:
@@ -167,6 +176,14 @@ def check(points: dict) -> int:
                 f"(cycles {golden[tag]['total_cycles']} -> "
                 f"{points[tag]['total_cycles']})"
             )
+    flat = points.get("fft/hlrc/flat-collective")
+    clean = points.get("fft/hlrc/clean")
+    if flat and clean and flat["digest"] != clean["digest"]:
+        failures.append(
+            "fft/hlrc/flat-collective: explicit collective='flat' digest "
+            "differs from the default-config digest — the default barrier "
+            "path moved"
+        )
     if failures:
         print("golden regression FAILED:")
         for f in failures:

@@ -55,6 +55,7 @@ from repro.core.store import ingest_artifact_quietly
 from repro.experiments import (
     ablations,
     breakdowns,
+    collectives,
     correlations,
     figure01_speedups,
     figure03_messages,
@@ -71,6 +72,7 @@ from repro.experiments import (
     multi_ni,
     problem_size,
     protocol_processing,
+    rdma_regime,
     reliability,
     table02_events,
     table03_slowdowns,
@@ -102,6 +104,8 @@ DRIVERS = [
     ("section10-multini", lambda s: multi_ni.run(scale=s)),
     ("problem-size", lambda s: problem_size.run(scale=s)),
     ("reliability", lambda s: reliability.run(scale=s)),
+    ("rdma_regime", lambda s: rdma_regime.run(scale=s)),
+    ("collectives", lambda s: collectives.run(scale=s)),
     ("ablations", lambda s: ablations.run(scale=s)),
     ("breakdowns", lambda s: breakdowns.run(scale=s)),
     ("microbench", lambda s: microbench.run()),

@@ -15,6 +15,7 @@ from repro.arch.membus import BUS_CLASSES, MemoryBus
 from repro.arch.params import (
     ACHIEVABLE,
     BEST,
+    COMM_REGIMES,
     HOST_OVERHEAD_SWEEP,
     INTERRUPT_COST_SWEEP,
     IO_BANDWIDTH_SWEEP,
@@ -26,6 +27,7 @@ from repro.arch.params import (
     TOTAL_PROCESSORS,
     ArchParams,
     CommParams,
+    CommRegime,
 )
 from repro.arch.processor import TIME_CATEGORIES, Processor, ProcessorStats
 from repro.arch.write_buffer import WriteBufferModel, WriteBurst
@@ -37,8 +39,10 @@ __all__ = [
     "ArchParams",
     "BlockAccessProfile",
     "BlockCosts",
+    "COMM_REGIMES",
     "CacheModel",
     "CommParams",
+    "CommRegime",
     "HOST_OVERHEAD_SWEEP",
     "INTERRUPT_COST_SWEEP",
     "IO_BANDWIDTH_SWEEP",

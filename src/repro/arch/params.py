@@ -24,7 +24,29 @@ documented in DESIGN.md and are trivially overridable via
 from __future__ import annotations
 
 import dataclasses
+import enum
 from dataclasses import dataclass
+
+
+class CommRegime(str, enum.Enum):
+    """How the host reaches the network (paper's base system vs. modern).
+
+    * ``BASELINE`` — the paper's architecture: sends cost
+      ``host_overhead`` cycles of host occupancy, incoming protocol
+      requests are delivered by interrupting a host processor.
+    * ``RDMA`` — a user-level/RDMA-class network (PAPERS.md,
+      "User-level DSM System for Modern High-Performance Interconnection
+      Networks"): page fetches become remote reads served by the remote
+      NI with no host involvement, sends post a descriptor for
+      ``rdma_post_cycles``, and no interrupts are ever raised.
+    """
+
+    BASELINE = "baseline"
+    RDMA = "rdma"
+
+
+#: valid values for :attr:`CommParams.comm_regime`
+COMM_REGIMES = tuple(r.value for r in CommRegime)
 
 
 @dataclass(frozen=True)
@@ -204,6 +226,12 @@ class CommParams:
     #: ("Multiple network interfaces per node ... can increase the
     #: available bandwidth"); sends round-robin across them
     nis_per_node: int = 1
+    #: communication regime: "baseline" (the paper's interrupt-driven
+    #: architecture) or "rdma" (user-level remote reads, no interrupts)
+    comm_regime: str = "baseline"
+    #: host cycles to post an RDMA descriptor (replaces host_overhead on
+    #: the send path when the regime is "rdma")
+    rdma_post_cycles: int = 50
 
     def __post_init__(self) -> None:
         for name in ("host_overhead", "ni_occupancy", "interrupt_cost"):
@@ -238,6 +266,18 @@ class CommParams:
             raise ValueError("poll latency and assist overhead must be >= 0")
         if self.nis_per_node < 1:
             raise ValueError("nis_per_node must be >= 1")
+        if isinstance(self.comm_regime, CommRegime):
+            object.__setattr__(self, "comm_regime", self.comm_regime.value)
+        if self.comm_regime not in COMM_REGIMES:
+            raise ValueError(
+                f"unknown comm_regime {self.comm_regime!r} "
+                f"(valid: {', '.join(COMM_REGIMES)})"
+            )
+        if self.rdma_post_cycles < 0:
+            raise ValueError(
+                f"CommParams.rdma_post_cycles must be >= 0, got "
+                f"{self.rdma_post_cycles!r}"
+            )
 
     @property
     def io_bytes_per_cycle(self) -> float:
@@ -254,6 +294,21 @@ class CommParams:
     def null_interrupt_cycles(self) -> int:
         """Cost of a null interrupt (issue + delivery)."""
         return 2 * self.interrupt_cost
+
+    @property
+    def is_rdma(self) -> bool:
+        """True when the user-level/RDMA regime is selected."""
+        return self.comm_regime == CommRegime.RDMA.value
+
+    @property
+    def send_post_cycles(self) -> int:
+        """Host cycles charged to post one send under the active regime."""
+        return self.rdma_post_cycles if self.is_rdma else self.host_overhead
+
+    @property
+    def effective_interrupt_cost(self) -> int:
+        """Per-side interrupt cost under the active regime (RDMA: none)."""
+        return 0 if self.is_rdma else self.interrupt_cost
 
     def replace(self, **kw) -> "CommParams":
         """Functional update (sugar over :func:`dataclasses.replace`)."""

@@ -65,6 +65,7 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments import (
         ablations,
         breakdowns,
+        collectives,
         correlations,
         figure01_speedups,
         figure03_messages,
@@ -81,6 +82,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         multi_ni,
         problem_size,
         protocol_processing,
+        rdma_regime,
         reliability,
         table02_events,
         table03_slowdowns,
@@ -114,6 +116,8 @@ def _experiment_registry() -> Dict[str, Callable]:
         "section10-multini": multi_ni.run,
         "problem-size": problem_size.run,
         "reliability": reliability.run,
+        "rdma_regime": rdma_regime.run,
+        "collectives": collectives.run,
         "ablations": ablations.run,
         "breakdowns": breakdowns.run,
         "microbench": lambda scale=1.0, apps=None, jobs=None: microbench.run(),
@@ -232,6 +236,18 @@ def _add_comm_options(parser: argparse.ArgumentParser) -> None:
         choices=("interrupt", "polling-dedicated", "ni-offload"),
         default="interrupt",
     )
+    # validated in CommParams/ClusterConfig __post_init__ so unknown
+    # values get the one-line `error: unknown ...` convention
+    parser.add_argument(
+        "--comm-regime",
+        default="baseline",
+        help="communication regime: baseline | rdma",
+    )
+    parser.add_argument(
+        "--collective",
+        default="flat",
+        help="inter-node barrier topology: flat | tree | dissemination",
+    )
     parser.add_argument("--seed", type=int, default=42)
 
 
@@ -247,7 +263,10 @@ def _config_from(args: argparse.Namespace) -> ClusterConfig:
         max_retries=getattr(args, "max_retries", 16),
     )
     return ClusterConfig(
-        protocol=args.protocol, seed=args.seed, faults=faults
+        protocol=args.protocol,
+        seed=args.seed,
+        faults=faults,
+        collective=getattr(args, "collective", "flat"),
     ).with_comm(
         procs_per_node=args.procs_per_node,
         page_size=args.page_size,
@@ -256,6 +275,7 @@ def _config_from(args: argparse.Namespace) -> ClusterConfig:
         ni_occupancy=args.ni_occupancy,
         interrupt_cost=args.interrupt_cost,
         protocol_processing=args.processing,
+        comm_regime=getattr(args, "comm_regime", "baseline"),
     )
 
 

@@ -227,6 +227,7 @@ class Cluster:
             free_page_fetches=config.free_page_fetches,
             metrics=metrics,
             verify=verify_log,
+            collective=config.collective,
         )
         self.protocol = PROTOCOLS[config.protocol](self.ctx)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.arch.params import ACHIEVABLE, ArchParams, CommParams
 from repro.net.faults import FaultParams
 from repro.osys.vm import PageDirectory
+from repro.protocol.collectives import COLLECTIVES
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,9 @@ class ClusterConfig:
     #: repro.verify and docs/verification.md); passive — simulated time
     #: is bit-identical with the oracle on or off
     verify: bool = False
+    #: inter-node barrier collective topology (see
+    #: repro.protocol.collectives): "flat" | "tree" | "dissemination"
+    collective: str = "flat"
 
     def __post_init__(self) -> None:
         if self.protocol not in ("hlrc", "aurc"):
@@ -69,6 +73,11 @@ class ClusterConfig:
             raise ValueError(f"faults must be a FaultParams, got {self.faults!r}")
         if not isinstance(self.verify, bool):
             raise ValueError(f"verify must be a bool, got {self.verify!r}")
+        if self.collective not in COLLECTIVES:
+            raise ValueError(
+                f"unknown collective {self.collective!r} "
+                f"(valid: {', '.join(COLLECTIVES)})"
+            )
 
     @property
     def n_nodes(self) -> int:

@@ -1,0 +1,82 @@
+"""RDMA regime study — the paper's question re-asked on modern networks.
+
+The SC'97 grid varies host overhead, interrupt cost, NI occupancy and
+bandwidth because the base system *has* those costs.  A user-level
+RDMA-class network (PAPERS.md: "User-level DSM System for Modern
+High-Performance Interconnection Networks") removes the host and
+interrupt terms structurally: page fetches become remote reads served by
+the home node's NI, sends post a descriptor in tens of cycles, and no
+interrupts are ever raised.  This driver runs every application under
+both regimes and reports how much of the baseline's host-overhead
+sensitivity (the Figure 5 sweep) the RDMA regime makes moot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.arch.params import HOST_OVERHEAD_SWEEP
+from repro.core.config import ClusterConfig
+from repro.core.executor import run_points
+from repro.experiments.common import DEFAULT_SCALE, ExperimentOutput, pick_apps
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    apps: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+) -> ExperimentOutput:
+    base = ClusterConfig()
+    rdma = base.with_comm(comm_regime="rdma")
+    worst_overhead = HOST_OVERHEAD_SWEEP[-1]
+    stressed = base.with_comm(host_overhead=worst_overhead)
+    names = pick_apps(apps)
+    grid = [
+        (name, scale, cfg) for name in names for cfg in (base, stressed, rdma)
+    ]
+    results = iter(run_points(grid, jobs=jobs))
+    rows = []
+    data = {}
+    for name in names:
+        r_base = next(results)
+        r_stress = next(results)
+        r_rdma = next(results)
+        gain = (r_rdma.speedup - r_base.speedup) / r_base.speedup
+        rows.append(
+            [
+                name,
+                round(r_base.ideal_speedup, 2),
+                round(r_base.speedup, 2),
+                round(r_stress.speedup, 2),
+                round(r_rdma.speedup, 2),
+                f"{gain * 100:+.1f}%",
+            ]
+        )
+        data[name] = {
+            "ideal": r_base.ideal_speedup,
+            "baseline": r_base.speedup,
+            f"baseline_o={worst_overhead}": r_stress.speedup,
+            "rdma": r_rdma.speedup,
+            "rdma_gain": gain,
+        }
+    return ExperimentOutput(
+        experiment_id="rdma_regime",
+        title="Baseline vs RDMA/user-level communication regime (16 procs)",
+        headers=[
+            "application",
+            "ideal",
+            "baseline",
+            f"baseline o={worst_overhead}",
+            "rdma",
+            "rdma gain",
+        ],
+        rows=rows,
+        data=data,
+        notes=(
+            "The RDMA regime serves page fetches as NI remote reads (no home "
+            "handler, no interrupts) and posts sends in rdma_post_cycles; it "
+            "closes part of the gap to ideal, and the host-overhead sweep "
+            "axis collapses — the stressed baseline column shows what the "
+            "regime makes irrelevant."
+        ),
+    )

@@ -35,6 +35,10 @@ class MessageKind(enum.Enum):
     #: pure data deposit (AURC automatic updates): lands in destination
     #: memory with no interrupt and no waiting receiver
     DATA = "data"
+    #: RDMA remote read (the "rdma" comm regime): the destination *NI*
+    #: serves ``read_bytes`` back as a REPLY with no interrupt and no
+    #: host involvement at the target
+    READ = "read"
 
 
 @dataclass
@@ -67,6 +71,8 @@ class Message:
     #: reliable delivery is on; retransmissions keep the original seq so
     #: the receiver can suppress duplicates.  ``None`` = unsequenced.
     seq: Optional[int] = None
+    #: for READ: how many payload bytes the target NI streams back
+    read_bytes: int = 0
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     #: memoized (mtu, packets) — the MTU is fixed for a run and the count
     #: is recomputed on every charge/transmit/retransmit of the message
@@ -79,6 +85,8 @@ class Message:
             raise ValueError("intra-node traffic never reaches the NI")
         if self.kind is MessageKind.REPLY and self.reply_to is None:
             raise ValueError("REPLY without reply_to event")
+        if self.kind is MessageKind.READ and self.reply_to is None:
+            raise ValueError("READ without reply_to event")
 
     def packet_count(self, mtu: int) -> int:
         """Packets needed at the given MTU (at least one, even if empty)."""

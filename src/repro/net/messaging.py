@@ -86,10 +86,18 @@ class MessagingLayer:
             else None
         )
         self._seq_counters: Dict[int, "itertools.count"] = {}
+        #: host cycles per posted send under the active regime (baseline:
+        #: host_overhead; rdma: the descriptor-post cost)
+        self._send_overhead = comm.send_post_cycles
         #: number of NI-driven retransmissions across the cluster
         self.retransmits = 0
         #: wire bytes consumed by retransmissions
         self.retransmitted_bytes = 0
+        # RDMA remote reads are served NI-side: wire the serve hook into
+        # every node's NI (harmless in the baseline regime — no READ
+        # messages are ever sent there)
+        for nic in nics.values():
+            nic.on_read = self._serve_remote_read
 
     # ------------------------------------------------------------------ #
     # reliable transmission
@@ -173,7 +181,7 @@ class MessagingLayer:
         wire = msg.wire_bytes(self.arch.packet_mtu, self.arch.packet_header_bytes)
         cpu.stats.count("messages_sent")
         cpu.stats.count("bytes_sent", wire)
-        overhead = self.comm.host_overhead
+        overhead = self._send_overhead
         if overhead:
             if in_handler:
                 # Handler bracket charges this time to 'handler'.
@@ -224,6 +232,60 @@ class MessagingLayer:
         else:
             value = yield from cpu.wait_for(reply_ev, wait_category)
         return value
+
+    def remote_read(
+        self,
+        cpu: "Processor",
+        src_node: int,
+        dst_node: int,
+        tag: str,
+        size_bytes: int,
+        read_bytes: int,
+        payload: Any = None,
+        wait_category: str = "data_wait",
+    ) -> Generator:
+        """RDMA remote read: post a READ descriptor, block until the
+        target *NI* has streamed ``read_bytes`` back.
+
+        No processor at ``dst_node`` is involved and no interrupt is
+        raised — the only host cost is the requester's descriptor post.
+        Both legs travel the full wire pipeline and are retransmitted
+        under reliable delivery exactly like RPC traffic.  Returns the
+        reply payload.
+        """
+        reply_ev = Event(self.sim, name=f"read.{tag}")
+        msg = Message(
+            src_node=src_node,
+            dst_node=dst_node,
+            kind=MessageKind.READ,
+            size_bytes=size_bytes,
+            tag=tag,
+            payload=payload,
+            reply_to=reply_ev,
+            read_bytes=read_bytes,
+        )
+        yield from self._charge_send(cpu, msg, in_handler=False)
+        self._transmit(msg)
+        value = yield from cpu.wait_for(reply_ev, wait_category)
+        return value
+
+    def _serve_remote_read(self, msg: Message) -> None:
+        """NI-side READ service: stream the data back as a REPLY.
+
+        Runs at the target NI with zero host cycles — the reply pays the
+        normal NI/bus/link pipeline (and its own retransmit watch) but no
+        send-posting overhead and no handler.
+        """
+        reply = Message(
+            src_node=msg.dst_node,
+            dst_node=msg.src_node,
+            kind=MessageKind.REPLY,
+            size_bytes=msg.read_bytes,
+            tag=msg.tag + ".reply",
+            payload=msg.payload,
+            reply_to=msg.reply_to,
+        )
+        self._transmit(reply)
 
     def send_reply(
         self,

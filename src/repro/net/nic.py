@@ -70,6 +70,21 @@ class NetworkInterface:
         self.rx_gate = FluidQueue(sim, f"ni{node_id}.rx_gate")
         #: hook invoked for REQUEST arrivals (wired to the interrupt path)
         self.on_request: Optional[Callable[[Message], None]] = None
+        #: hook invoked for READ arrivals (RDMA regime: the NI serves the
+        #: remote read itself, no host, no interrupt)
+        self.on_read: Optional[Callable[[Message], None]] = None
+        #: cycles a REQUEST holds the serial receive gate (precomputed:
+        #: interrupt signalling time, or zero when the regime/processing
+        #: mode raises no interrupts)
+        self._rx_gate_hold_cycles = (
+            comm.null_interrupt_cycles
+            if (
+                arch.model_rx_gate
+                and comm.effective_interrupt_cost
+                and comm.protocol_processing == "interrupt"
+            )
+            else 0
+        )
         #: hook invoked when the outgoing queue overflows
         self.on_queue_overflow: Optional[Callable[[], None]] = None
         self._sync_stores: Dict[str, Store] = {}
@@ -197,17 +212,12 @@ class NetworkInterface:
         # The request's *own* issue latency is charged by the interrupt
         # controller, so here it only delays followers.
         delay = self.rx_gate.backlog if self.arch.model_rx_gate else 0
-        if (
-            self.arch.model_rx_gate
-            and msg.kind is MessageKind.REQUEST
-            and self.comm.interrupt_cost
-            and self.comm.protocol_processing == "interrupt"
-        ):
+        if self._rx_gate_hold_cycles and msg.kind is MessageKind.REQUEST:
             # The gate is held for issue + delivery: the single-threaded
             # assist cannot free the receive slot until the host has
-            # taken the message.  Polling and NI-offload modes raise no
-            # interrupts, so the gate never blocks there.
-            self.rx_gate.latency(self.comm.null_interrupt_cycles)
+            # taken the message.  Polling, NI-offload and the RDMA regime
+            # raise no interrupts, so the gate never blocks there.
+            self.rx_gate.latency(self._rx_gate_hold_cycles)
         if delay > 0:
             self.sim.schedule(delay, self._dispatch_arrival, msg)
         else:
@@ -242,6 +252,13 @@ class NetworkInterface:
         elif msg.kind is MessageKind.SYNC:
             # a process is (or will be) waiting at the rendezvous
             self.sync_store(msg.tag).put(msg.payload)
+        elif msg.kind is MessageKind.READ:
+            # RDMA remote read: this NI streams the data back itself
+            if self.on_read is None:
+                raise RuntimeError(
+                    f"node {self.node_id}: READ arrived with no serve hook"
+                )
+            self.on_read(msg)
         # MessageKind.DATA: nothing further — the deposit event above is all
 
     # ------------------------------------------------------------------ #
@@ -324,6 +341,15 @@ class NICGroup:
     def on_request(self, hook) -> None:
         for nic in self.nics:
             nic.on_request = hook
+
+    @property
+    def on_read(self):
+        return self.nics[0].on_read
+
+    @on_read.setter
+    def on_read(self, hook) -> None:
+        for nic in self.nics:
+            nic.on_read = hook
 
     @property
     def on_queue_overflow(self):

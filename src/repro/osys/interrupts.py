@@ -43,6 +43,9 @@ class InterruptController:
         self.sim = sim
         self.processors = processors
         self.comm = comm
+        #: per-side cost under the active regime (RDMA raises user-level
+        #: upcalls, not interrupts: zero cycles both sides)
+        self._cost = comm.effective_interrupt_cost
         self._rr_next = 0
         self.interrupts_raised = 0
 
@@ -75,7 +78,7 @@ class InterruptController:
         return done
 
     def _dispatch(self, cpu: "Processor", body: Iterator, done: Event):
-        cost = self.comm.interrupt_cost
+        cost = self._cost
         if cost:
             # Issue side: latency only (NI/IPI traversal), no CPU stolen.
             yield cost

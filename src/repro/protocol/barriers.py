@@ -6,13 +6,15 @@ no interrupts", hierarchically:
 1. **Intra-node leg** — arrivals synchronize through node shared memory
    (``smp_sync_cycles`` each).  The *last* processor to arrive becomes
    the node's representative.
-2. **Inter-node leg** — each representative sends a SYNC arrival message
-   to the barrier master (node 0).  The master's representative is
-   already *waiting* for these messages, so no interrupts are raised.
-3. **Release** — the master merges the consistency information (vector
-   clocks; write notices piggyback on the release messages) and sends a
-   SYNC release to every other representative, which releases its node's
-   processors through shared memory.
+2. **Inter-node leg** — the representatives synchronize through one of
+   the pluggable collectives in :mod:`repro.protocol.collectives`
+   (flat master gather/broadcast — the paper's scheme and the default —
+   binomial tree, or dissemination).  The representatives are already
+   *waiting* for these messages, so no interrupts are raised.
+3. **Release** — the merged consistency information (vector clocks;
+   write notices piggyback on the release messages) reaches every
+   representative, which releases its node's processors through shared
+   memory.
 
 Barrier episodes are identified per (barrier id, per-processor visit
 count), so back-to-back barriers on the same id cannot alias.
@@ -22,8 +24,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
-from repro.protocol.base import GRANT_BASE_BYTES, ProtocolContext, ProtocolCounters
+from repro.protocol.base import ProtocolContext, ProtocolCounters
+from repro.protocol.collectives import make_collective
 from repro.sim.primitives import Event
+from repro.verify.events import EV_BARRIER_ARRIVE, EV_BARRIER_RELEASE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.arch.processor import Processor
@@ -32,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class _Episode:
     """State of one global barrier episode."""
 
-    __slots__ = ("arrived", "release_events", "merged_vc")
+    __slots__ = ("arrived", "release_events", "merged_vc", "reps_done")
 
     def __init__(self, ctx: ProtocolContext) -> None:
         #: per-node arrival counts
@@ -40,6 +44,9 @@ class _Episode:
         #: per-node local release events
         self.release_events: Dict[int, Event] = {}
         self.merged_vc: Optional[Tuple[int, ...]] = None
+        #: representatives that completed the inter-node leg (non-flat
+        #: collectives mark the phase boundary when the last one does)
+        self.reps_done: int = 0
 
     def node_release(self, ctx: ProtocolContext, node_id: int) -> Event:
         ev = self.release_events.get(node_id)
@@ -66,6 +73,7 @@ class BarrierManager:
         #: sizes the piggybacked write notices on release messages
         self.notice_bytes_fn = notice_bytes_fn or (lambda: 0)
         self.master_node = master_node
+        self.collective = make_collective(ctx.collective, self)
         self._episodes: Dict[Tuple[int, int], _Episode] = {}
         self._visits: Dict[Tuple[int, int], int] = {}
 
@@ -87,9 +95,11 @@ class BarrierManager:
     def _mark_phase(self, barrier_id: int, visit: int) -> None:
         """Record a phase boundary (one per global barrier episode).
 
-        Runs where the merged clock is computed, i.e. exactly once per
-        episode; the cumulative cluster-wide breakdown snapshot lets
-        consumers difference adjacent marks into per-epoch costs.
+        Runs where the merged clock is computed (flat: at the master) or
+        when the last representative completes (tree/dissemination), i.e.
+        exactly once per episode; the cumulative cluster-wide breakdown
+        snapshot lets consumers difference adjacent marks into per-epoch
+        costs.
         """
         metrics = self.ctx.metrics
         if metrics is not None:
@@ -98,6 +108,18 @@ class BarrierManager:
                 f"barrier.{barrier_id}.{visit}",
                 self.ctx.aggregate_time(),
             )
+
+    def _complete(self, ep: _Episode, barrier_id: int, visit: int) -> None:
+        """One representative finished the inter-node leg.
+
+        Non-flat collectives have no single point where the episode is
+        globally known complete, so the phase boundary is marked when the
+        *last* representative finishes — inter-stage hop waits land
+        inside the barrier phase, not the next compute epoch.
+        """
+        ep.reps_done += 1
+        if ep.reps_done == self.ctx.n_nodes:
+            self._mark_phase(barrier_id, visit)
 
     # ------------------------------------------------------------------ #
     def barrier(self, cpu: "Processor", barrier_id: int):
@@ -112,47 +134,35 @@ class BarrierManager:
         ep, visit = self._episode_for(cpu, barrier_id)
         self.counters.bump("barriers")
         cpu.stats.count("barriers")
+        vlog = ctx.verify
+        if vlog is not None:
+            vlog.record(
+                ctx.sim.now,
+                EV_BARRIER_ARRIVE,
+                (cpu.global_id, node_id, barrier_id, visit, self.collective.name),
+            )
 
         # intra-node leg
         yield from cpu.busy(ctx.arch.smp_sync_cycles, "protocol")
         ep.arrived[node_id] = ep.arrived.get(node_id, 0) + 1
         if ep.arrived[node_id] < self.participants_at(node_id):
             yield from cpu.wait_for(ep.node_release(ctx, node_id), "barrier_wait")
-            return ep.merged_vc
-
-        # this processor is the node's representative
-        if ctx.n_nodes == 1:
+            merged = ep.merged_vc
+        elif ctx.n_nodes == 1:
+            # this processor is the node's (and cluster's) representative
             ep.merged_vc = self.merge_fn()
             self._mark_phase(barrier_id, visit)
             ep.node_release(ctx, node_id).succeed()
-            return ep.merged_vc
+            merged = ep.merged_vc
+        else:
+            merged = yield from self.collective.inter_node(
+                cpu, node_id, ep, barrier_id, visit
+            )
 
-        arrive_tag = f"bar.{barrier_id}.{visit}.arrive"
-        release_tag = f"bar.{barrier_id}.{visit}.release"
-
-        if node_id == self.master_node:
-            for _ in range(ctx.n_nodes - 1):
-                yield from cpu.wait_for(
-                    ctx.msg.receive_sync(node_id, arrive_tag), "barrier_wait"
-                )
-            ep.merged_vc = self.merge_fn()
-            self._mark_phase(barrier_id, visit)
-            size = GRANT_BASE_BYTES + self.notice_bytes_fn()
-            for other in range(ctx.n_nodes):
-                if other == node_id:
-                    continue
-                yield from ctx.msg.send_sync(
-                    cpu, node_id, other, release_tag, size, payload=ep.merged_vc
-                )
-            ep.node_release(ctx, node_id).succeed()
-            return ep.merged_vc
-
-        yield from ctx.msg.send_sync(
-            cpu, node_id, self.master_node, arrive_tag, GRANT_BASE_BYTES
-        )
-        merged = yield from cpu.wait_for(
-            ctx.msg.receive_sync(node_id, release_tag), "barrier_wait"
-        )
-        ep.merged_vc = merged
-        ep.node_release(ctx, node_id).succeed()
+        if vlog is not None:
+            vlog.record(
+                ctx.sim.now,
+                EV_BARRIER_RELEASE,
+                (cpu.global_id, node_id, barrier_id, visit, self.collective.name),
+            )
         return merged

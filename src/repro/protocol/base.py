@@ -63,6 +63,9 @@ class ProtocolContext:
     #: optional conformance-oracle event log (``repro.verify``; ``None``
     #: keeps the protocol hot paths at a single attribute check)
     verify: Optional[Any] = None
+    #: inter-node barrier collective topology ("flat" | "tree" |
+    #: "dissemination"); see :mod:`repro.protocol.collectives`
+    collective: str = "flat"
 
     @property
     def n_procs(self) -> int:

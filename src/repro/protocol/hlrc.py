@@ -225,15 +225,30 @@ class HLRCProtocol:
         mem.fetches[page] = ev
         self.counters.bump("page_fetches")
         cpu.stats.count("page_fetches")
-        yield from ctx.msg.rpc(
-            cpu,
-            node_id,
-            home,
-            TAG_PAGE_FETCH,
-            REQUEST_HEADER_BYTES,
-            payload=page,
-            wait_category="data_wait",
-        )
+        if ctx.comm.is_rdma:
+            # RDMA regime: the home's NI serves the page as a remote
+            # read — no handler, no interrupt, no home host cycles.
+            yield from ctx.msg.remote_read(
+                cpu,
+                node_id,
+                home,
+                TAG_PAGE_FETCH,
+                REQUEST_HEADER_BYTES,
+                ctx.comm.page_size,
+                payload=page,
+                wait_category="data_wait",
+            )
+            self.mem[home].faults_served += 1
+        else:
+            yield from ctx.msg.rpc(
+                cpu,
+                node_id,
+                home,
+                TAG_PAGE_FETCH,
+                REQUEST_HEADER_BYTES,
+                payload=page,
+                wait_category="data_wait",
+            )
         mem.valid.add(page)
         del mem.fetches[page]
         if vlog is not None:

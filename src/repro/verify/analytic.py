@@ -299,6 +299,8 @@ def trace_summary(trace: AppTrace, config: ClusterConfig) -> TraceSummary:
 # --------------------------------------------------------------------- #
 def _delivery_cycles(comm: CommParams) -> float:
     """Cycles to get an incoming request into a running handler."""
+    if comm.is_rdma:
+        return 0.0  # user-level upcall: no interrupt, no poll loop
     if comm.protocol_processing == "interrupt":
         return float(comm.null_interrupt_cycles)
     if comm.protocol_processing == "polling-dedicated":
@@ -322,7 +324,9 @@ def _costs(arch: ArchParams, comm: CommParams, free_fetches: bool) -> Dict[str, 
             t = max(stages)
         else:
             t = sum(stages)
-        return comm.host_overhead + comm.ni_occupancy * pkts + t + arch.link_latency_cycles
+        return (
+            comm.send_post_cycles + comm.ni_occupancy * pkts + t + arch.link_latency_cycles
+        )
 
     trap = arch.tlb_kernel_cycles + arch.handler_base_cycles
     rpc_small = (
@@ -352,13 +356,13 @@ def _costs(arch: ArchParams, comm: CommParams, free_fetches: bool) -> Dict[str, 
             + arch.handler_base_cycles
         ),
         "diff_word": float(2 * arch.diff_include_cycles_per_word + word / io_bpc),
-        "flush": float(comm.host_overhead + comm.ni_occupancy),
+        "flush": float(comm.send_post_cycles + comm.ni_occupancy),
         "update_pkt": float(comm.ni_occupancy),
         "update_word": float(word / io_bpc),
         "local_acq": float(2 * arch.smp_sync_cycles),
         "remote_acq": float(rpc_small),
         "barrier": float(
-            2 * arch.smp_sync_cycles + rpc_small + comm.null_interrupt_cycles
+            2 * arch.smp_sync_cycles + rpc_small + 2 * comm.effective_interrupt_cost
         ),
         "invalidate": float(arch.page_invalidate_cycles),
         "io_bpc": io_bpc * comm.nis_per_node,

@@ -54,6 +54,12 @@ EV_BARRIER = "barrier"
 #: (proc, node, incoming, post, invalidated) — an incoming clock was merged
 #: and ``invalidated`` resident pages were dropped.
 EV_APPLY = "apply"
+#: (proc, node, barrier_id, epoch, topology) — a processor arrived at a
+#: barrier episode (before the intra-node leg).
+EV_BARRIER_ARRIVE = "barrier_arrive"
+#: (proc, node, barrier_id, epoch, topology) — a processor left a barrier
+#: episode (after the collective released it).
+EV_BARRIER_RELEASE = "barrier_release"
 
 ALL_KINDS = (
     EV_READ,
@@ -68,6 +74,8 @@ ALL_KINDS = (
     EV_RELEASE,
     EV_BARRIER,
     EV_APPLY,
+    EV_BARRIER_ARRIVE,
+    EV_BARRIER_RELEASE,
 )
 
 

@@ -38,6 +38,14 @@ Invariants checked
     clock; it must dominate each participant's pre-barrier clock and not
     exceed any proc's logged interval count; every episode must release
     exactly ``n_procs`` participants.
+``collective-early-release`` / ``collective-release-count`` /
+``collective-epoch-regression``
+    The collective event stream (``EV_BARRIER_ARRIVE`` /
+    ``EV_BARRIER_RELEASE``, emitted by every topology): no processor is
+    released from an episode before all ``n_procs`` arrivals were
+    recorded; each arriving processor is released exactly once; a
+    processor's episode numbers per barrier id advance by exactly one
+    per visit.
 
 Soundness notes (why concurrent interleavings cannot produce false
 positives) are spelled out in ``docs/verification.md``.
@@ -53,6 +61,8 @@ from repro.verify.events import (
     EV_ACQUIRE,
     EV_APPLY,
     EV_BARRIER,
+    EV_BARRIER_ARRIVE,
+    EV_BARRIER_RELEASE,
     EV_DIFF_APPLY,
     EV_DIFF_SEND,
     EV_FETCH,
@@ -139,6 +149,11 @@ class _Checker:
         self.visits: Dict[Tuple[int, int], int] = {}
         #: (barrier_id, visit) -> {"merged": snap, "procs": set, "index": int}
         self.episodes: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        #: (barrier_id, epoch) -> {"arrivals": set, "releases": {proc: n}}
+        #: from the collective arrive/release event stream
+        self.coll: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        #: (proc, barrier_id) -> next expected collective epoch number
+        self.arrive_epochs: Dict[Tuple[int, int], int] = {}
 
     # -- helpers ----------------------------------------------------------
     def _flag(self, kind: str, message: str, rec: Optional[TraceRecord], index: int,
@@ -375,6 +390,51 @@ class _Checker:
                     rec, i, procs=(proc, p), epochs=(visit,),
                 )
 
+    def on_barrier_arrive(self, rec: TraceRecord, i: int) -> None:
+        proc, node, barrier_id, epoch, topology = rec.detail
+        expected = self.arrive_epochs.get((proc, barrier_id), 0)
+        if epoch != expected:
+            self._flag(
+                "collective-epoch-regression",
+                f"proc {proc} arrived at barrier {barrier_id} episode "
+                f"{epoch} but its previous arrivals imply episode {expected}",
+                rec, i, procs=(proc,), epochs=(epoch, expected),
+            )
+        self.arrive_epochs[(proc, barrier_id)] = epoch + 1
+        ep = self.coll.setdefault(
+            (barrier_id, epoch), {"arrivals": set(), "releases": {}}
+        )
+        ep["arrivals"].add(proc)
+
+    def on_barrier_release(self, rec: TraceRecord, i: int) -> None:
+        proc, node, barrier_id, epoch, topology = rec.detail
+        ep = self.coll.get((barrier_id, epoch))
+        if ep is None or proc not in ep["arrivals"]:
+            self._flag(
+                "collective-release-count",
+                f"{topology} barrier {barrier_id} episode {epoch} released "
+                f"proc {proc} which never arrived at that episode",
+                rec, i, procs=(proc,), epochs=(epoch,),
+            )
+            return
+        if len(ep["arrivals"]) < self.n_procs:
+            self._flag(
+                "collective-early-release",
+                f"{topology} barrier {barrier_id} episode {epoch} released "
+                f"proc {proc} after only {len(ep['arrivals'])} of "
+                f"{self.n_procs} arrivals",
+                rec, i, procs=(proc,), epochs=(epoch,),
+            )
+        releases = ep["releases"]
+        releases[proc] = releases.get(proc, 0) + 1
+        if releases[proc] > 1:
+            self._flag(
+                "collective-release-count",
+                f"{topology} barrier {barrier_id} episode {epoch} released "
+                f"proc {proc} {releases[proc]} times",
+                rec, i, procs=(proc,), epochs=(epoch,),
+            )
+
     def on_apply(self, rec: TraceRecord, i: int) -> None:
         proc, node, incoming, post, invalidated = rec.detail
         clock = self.shadow[proc]
@@ -447,6 +507,19 @@ class _Checker:
                     None, n_events,
                     procs=tuple(sorted(ep["procs"])), epochs=(visit,),
                 )
+        for (barrier_id, epoch), ep in sorted(self.coll.items()):
+            unreleased = [
+                p for p in sorted(ep["arrivals"]) if ep["releases"].get(p, 0) != 1
+            ]
+            if unreleased:
+                self._flag(
+                    "collective-release-count",
+                    f"barrier {barrier_id} episode {epoch}: procs "
+                    f"{unreleased} arrived but were not released exactly "
+                    "once",
+                    None, n_events,
+                    procs=tuple(unreleased), epochs=(epoch,),
+                )
         for node, page in sorted(self.twins):
             self._flag(
                 "twin-leak",
@@ -469,6 +542,8 @@ _HANDLERS = {
     EV_RELEASE: _Checker.on_release,
     EV_BARRIER: _Checker.on_barrier,
     EV_APPLY: _Checker.on_apply,
+    EV_BARRIER_ARRIVE: _Checker.on_barrier_arrive,
+    EV_BARRIER_RELEASE: _Checker.on_barrier_release,
 }
 
 

@@ -17,6 +17,7 @@ from repro.arch import (
     TOTAL_PROCESSORS,
     ArchParams,
     CommParams,
+    CommRegime,
 )
 
 
@@ -86,6 +87,30 @@ def test_comm_params_validation():
         CommParams(procs_per_node=0)
     with pytest.raises(ValueError):
         CommParams(interrupt_scheme="bogus")
+
+
+def test_comm_regime_validation_names_field_and_choices():
+    with pytest.raises(ValueError, match=r"unknown comm_regime 'verbs'.*baseline.*rdma"):
+        CommParams(comm_regime="verbs")
+    with pytest.raises(ValueError):
+        CommParams(rdma_post_cycles=-1)
+
+
+def test_comm_regime_enum_normalizes_to_string():
+    cp = CommParams(comm_regime=CommRegime.RDMA)
+    assert cp.comm_regime == "rdma"
+    assert cp.is_rdma
+
+
+def test_rdma_regime_collapses_host_terms():
+    base = CommParams(host_overhead=500, interrupt_cost=500)
+    assert not base.is_rdma
+    assert base.send_post_cycles == 500
+    assert base.effective_interrupt_cost == 500
+    rdma = base.replace(comm_regime="rdma", rdma_post_cycles=50)
+    assert rdma.is_rdma
+    assert rdma.send_post_cycles == 50
+    assert rdma.effective_interrupt_cost == 0
 
 
 def test_replace_returns_new_frozen_instance():

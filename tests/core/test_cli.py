@@ -134,6 +134,47 @@ def test_invalid_config_value_friendly_error(capsys):
     assert "retry_timeout" in err
 
 
+def test_unknown_comm_regime_one_line_error(capsys):
+    # no argparse choices=: rejected by CommParams validation -> error:, rc 2
+    assert main(["run", "fft", "--scale", "0.05", "--comm-regime", "verbs"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "unknown comm_regime 'verbs'" in err
+    assert "baseline" in err and "rdma" in err
+
+
+def test_unknown_collective_one_line_error(capsys):
+    assert main(["run", "fft", "--scale", "0.05", "--collective", "star"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "unknown collective 'star'" in err
+    assert "flat" in err and "dissemination" in err
+
+
+def test_run_with_rdma_regime_and_collective(capsys):
+    rc = main(
+        [
+            "run",
+            "fft",
+            "--scale",
+            "0.05",
+            "--comm-regime",
+            "rdma",
+            "--collective",
+            "dissemination",
+        ]
+    )
+    assert rc == 0
+    assert "fft" in capsys.readouterr().out
+
+
+def test_list_includes_new_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "rdma_regime" in out
+    assert "collectives" in out
+
+
 def test_run_with_faults_enabled(capsys):
     rc = main(["run", "fft", "--scale", "0.05", "--drop-prob", "0.02"])
     assert rc == 0

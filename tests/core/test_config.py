@@ -31,6 +31,17 @@ def test_invalid_protocol_rejected():
         ClusterConfig(protocol="treadmarks")
 
 
+def test_invalid_collective_rejected_with_choices():
+    with pytest.raises(
+        ValueError, match=r"unknown collective 'butterfly'.*flat.*tree.*dissemination"
+    ):
+        ClusterConfig(collective="butterfly")
+
+
+def test_collective_default_is_flat():
+    assert ClusterConfig().collective == "flat"
+
+
 def test_procs_must_divide_by_clustering():
     with pytest.raises(ValueError):
         ClusterConfig(comm=CommParams(procs_per_node=3), total_procs=16)

@@ -77,6 +77,8 @@ def test_content_key_changes_with_every_comm_field():
         "poll_latency": 100,
         "assist_overhead": 100,
         "nis_per_node": 2,
+        "comm_regime": "rdma",
+        "rdma_post_cycles": 100,
     }
     # every CommParams field must be covered by this test
     assert set(bumped) == {f.name for f in dataclasses.fields(CommParams)}

@@ -55,7 +55,7 @@ def test_oracle_clean_and_passive_on_golden_fft_points(golden, snapshot_points):
         assert obs["total_cycles"] == expected["total_cycles"], tag
         assert golden.digest(obs) == expected["digest"], tag
         ran += 1
-    assert ran == 4  # fft x {hlrc, aurc} x {clean, faulty}
+    assert ran == 5  # fft x {hlrc, aurc} x {clean, faulty} + flat-collective
 
 
 def test_run_grid_verify_reports_no_failures_on_fft(golden, monkeypatch):

@@ -1,0 +1,126 @@
+"""Differential + metamorphic tests for the RDMA communication regime.
+
+The regime changes *how* a page travels (NI-served remote read, cheap
+descriptor post, no interrupts) but must never change *what* the memory
+ends up holding.  Three independent checks pin that:
+
+* on the real fft/radix traces, the per-page version history under
+  ``comm_regime="rdma"`` is identical to the baseline regime and to the
+  zero-cost ideal model, for both protocols, with the happens-before
+  oracle riding along;
+* the same holds under seeded fault injection — a lost or duplicated
+  READ/REPLY must be absorbed by the reliable-delivery layer without
+  perturbing ordering;
+* metamorphically, on timing-deterministic barrier-only workloads the
+  end-to-end time is monotone non-increasing as the host terms the RDMA
+  regime eliminates are dialed down by hand — (6000, 2000) → (500, 500)
+  → (0, 0) host-overhead/interrupt cycles — and a zero-post RDMA run
+  beats even the zero-cost baseline, because remote reads also skip the
+  home-side handler occupancy no CommParams knob can remove.
+"""
+
+from hypothesis import given, settings
+
+from repro.apps import get_app
+from repro.core import ClusterConfig
+from repro.protocol.collectives import COLLECTIVES
+from repro.verify.ideal import ideal_interval_sets, interval_sets_from_log
+from tests.verify.workloads import (
+    BARRIER_ONLY_PATTERNS,
+    assert_oracle_clean,
+    base_config,
+    fault_point_strategy,
+    run_verified,
+    trace_strategy,
+)
+
+REGIMES = ("baseline", "rdma")
+
+
+def test_real_apps_identical_versions_across_regimes():
+    for app_name in ("fft", "radix"):
+        cfg = ClusterConfig()
+        trace = get_app(
+            app_name, page_size=cfg.comm.page_size, scale=0.05, seed=cfg.seed
+        )
+        ideal = ideal_interval_sets(trace)
+        for protocol in ("hlrc", "aurc"):
+            for regime in REGIMES:
+                point = cfg.replace(protocol=protocol).with_comm(
+                    comm_regime=regime
+                )
+                context = f"{app_name}/{protocol}/{regime}"
+                result, vlog = run_verified(trace, point)
+                assert_oracle_clean(result, context)
+                assert interval_sets_from_log(vlog.records) == ideal, context
+
+
+def test_full_scenario_matrix_oracle_clean():
+    """The acceptance matrix: {hlrc, aurc} x {baseline, rdma} x
+    {flat, tree, dissemination} on the pinned fft point — zero oracle
+    violations and the ideal version history everywhere."""
+    cfg = ClusterConfig()
+    trace = get_app("fft", page_size=cfg.comm.page_size, scale=0.05, seed=cfg.seed)
+    ideal = ideal_interval_sets(trace)
+    for protocol in ("hlrc", "aurc"):
+        for regime in REGIMES:
+            for collective in COLLECTIVES:
+                point = cfg.replace(
+                    protocol=protocol, collective=collective
+                ).with_comm(comm_regime=regime)
+                context = f"fft/{protocol}/{regime}/{collective}"
+                result, vlog = run_verified(trace, point)
+                assert_oracle_clean(result, context)
+                assert interval_sets_from_log(vlog.records) == ideal, context
+
+
+@given(trace=trace_strategy(), faults=fault_point_strategy)
+@settings(max_examples=20, deadline=None)
+def test_rdma_version_history_survives_faults(trace, faults):
+    """Dropped/duplicated READ and REPLY messages must be retransmitted
+    or deduplicated without changing the version history."""
+    ideal = ideal_interval_sets(trace)
+    for protocol in ("hlrc", "aurc"):
+        context = f"{trace.name}/{protocol}/rdma/faulty"
+        result, vlog = run_verified(
+            trace,
+            base_config(protocol, faults=faults, comm_regime="rdma"),
+        )
+        assert_oracle_clean(result, context)
+        assert interval_sets_from_log(vlog.records) == ideal, context
+
+
+#: host-cost ladder, worst to best; the RDMA regime structurally removes
+#: both axes, so hand-dialing them down must never slow a run
+LADDER = (
+    {"host_overhead": 6000, "interrupt_cost": 2000},
+    {"host_overhead": 500, "interrupt_cost": 500},
+    {"host_overhead": 0, "interrupt_cost": 0},
+)
+
+
+@given(trace=trace_strategy(patterns=BARRIER_ONLY_PATTERNS))
+@settings(max_examples=15, deadline=None)
+def test_total_time_monotone_as_host_costs_vanish(trace):
+    """Metamorphic: on barrier-only (timing-deterministic) workloads,
+    cheaper host terms never cost cycles, and zero-post RDMA is at least
+    as fast as the best comm point the baseline regime can express."""
+    cycles = []
+    for comm_kw in LADDER:
+        result, _ = run_verified(trace, base_config("hlrc", **comm_kw))
+        assert_oracle_clean(result, f"{trace.name}/ladder/{comm_kw}")
+        cycles.append(result.total_cycles)
+    rdma_result, _ = run_verified(
+        trace,
+        base_config(
+            "hlrc",
+            host_overhead=0,
+            interrupt_cost=0,
+            comm_regime="rdma",
+            rdma_post_cycles=0,
+        ),
+    )
+    assert_oracle_clean(rdma_result, f"{trace.name}/ladder/rdma")
+    cycles.append(rdma_result.total_cycles)
+    for worse, better in zip(cycles, cycles[1:]):
+        assert better <= worse, (trace.name, cycles)
